@@ -1,0 +1,74 @@
+//! Extension experiment: the HW-only coalescing design space of §2.1.
+//!
+//! The paper motivates hybrid coalescing by the limits of pure-hardware
+//! designs: CoLT-SA and the cluster TLB coalesce only 4–8 pages, and
+//! CoLT's fully-associative mode trades unbounded runs for a handful of
+//! entries. This experiment lines all three up against the anchor TLB on
+//! the scenario spectrum.
+
+use hytlb_bench::{banner, config_from_args, emit};
+use hytlb_core::{AnchorConfig, AnchorScheme};
+use hytlb_mem::Scenario;
+use hytlb_schemes::{ColtScheme, LatencyModel, TranslationScheme};
+use hytlb_sim::experiment::{mapping_for, trace_for};
+use hytlb_sim::report::render_table;
+use hytlb_sim::{Machine, SchemeKind};
+use hytlb_trace::WorkloadKind;
+use std::sync::Arc;
+
+fn main() {
+    let config = config_from_args();
+    banner("Extension: HW-only coalescing design space (§2.1)", &config);
+
+    let workload = WorkloadKind::Canneal;
+    let cols = vec![
+        "Cluster".to_owned(),
+        "CoLT-SA".to_owned(),
+        "CoLT-FA(32)".to_owned(),
+        "Dynamic".to_owned(),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for scenario in [
+        Scenario::LowContiguity,
+        Scenario::MediumContiguity,
+        Scenario::HighContiguity,
+    ] {
+        let map = mapping_for(workload, scenario, &config);
+        let trace = trace_for(workload, &config);
+        let base = Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(trace.iter().copied());
+        let latency = LatencyModel::default();
+        let arc = Arc::new(map.clone());
+        let schemes: Vec<Box<dyn TranslationScheme>> = vec![
+            SchemeKind::Cluster.build(&arc, &config),
+            Box::new(ColtScheme::new(Arc::clone(&arc), latency)),
+            Box::new(ColtScheme::with_fully_associative(Arc::clone(&arc), latency, 32)),
+            Box::new(AnchorScheme::new(Arc::clone(&arc), AnchorConfig::dynamic())),
+        ];
+        let cells: Vec<String> = schemes
+            .into_iter()
+            .map(|scheme| {
+                let run = Machine::from_scheme(scheme, &map, &config).run(trace.iter().copied());
+                json.push(serde_json::json!({
+                    "scenario": scenario.label(),
+                    "scheme": run.scheme,
+                    "relative_misses_pct": run.relative_misses_pct(&base),
+                }));
+                format!("{:.1}", run.relative_misses_pct(&base))
+            })
+            .collect();
+        rows.push((scenario.label().to_owned(), cells));
+    }
+    let text = format!(
+        "{}\nRelative misses (%) for canneal. The HW designs plateau: cluster and\n\
+         CoLT-SA cap coverage at 8 pages, CoLT-FA covers long runs but only 32\n\
+         of them. The anchor TLB scales its per-entry coverage with the mapping\n\
+         — the §2.1 scalability/flexibility argument, quantified.\n",
+        render_table("scenario", &cols, &rows)
+    );
+    emit(
+        "ext_hw_coalescing",
+        &text,
+        &serde_json::to_string_pretty(&json).expect("serializable"),
+    );
+}

@@ -1,0 +1,132 @@
+//! Shared plumbing for the figure/table regenerator binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--quick`   — tiny footprints and traces (seconds; shapes still hold)
+//! * `--paper`   — full scale (the default is a middle ground)
+//! * `--seed N`  — override the master seed
+//! * `--accesses N` — override the trace length
+//!
+//! Output goes to stdout and, as both text and JSON, into `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hytlb_sim::PaperConfig;
+use std::fs;
+use std::path::PathBuf;
+
+/// Parses the common CLI flags into a [`PaperConfig`].
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments.
+#[must_use]
+pub fn config_from_args() -> PaperConfig {
+    let mut config = PaperConfig {
+        accesses: 1_000_000,
+        footprint_shift: 2,
+        ..PaperConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                config.accesses = 200_000;
+                config.footprint_shift = 4;
+            }
+            "--paper" => {
+                config.accesses = 2_000_000;
+                config.footprint_shift = 0;
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+            }
+            "--accesses" => {
+                config.accesses = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--accesses needs an integer"));
+            }
+            other => panic!("unknown flag {other}; flags: --quick --paper --seed N --accesses N"),
+        }
+    }
+    config
+}
+
+/// Prints a result and archives it under `results/<name>.txt` and
+/// `results/<name>.json` (best-effort; failures to write are reported but
+/// not fatal, so experiments still print on read-only checkouts).
+pub fn emit(name: &str, text: &str, json: &str) {
+    println!("{text}");
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("note: cannot create results/: {e}");
+        return;
+    }
+    for (ext, body) in [("txt", text), ("json", json)] {
+        let path = dir.join(format!("{name}.{ext}"));
+        if let Err(e) = fs::write(&path, body) {
+            eprintln!("note: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Prints the experiment banner with the active configuration.
+pub fn banner(experiment: &str, config: &PaperConfig) {
+    println!(
+        "== {experiment} ==\n   accesses/run: {}, footprint shift: {}, seed: {}\n",
+        config.accesses, config.footprint_shift, config.seed
+    );
+}
+
+use hytlb_mem::Scenario;
+use hytlb_sim::experiment::{run_suite, static_ideal, SuiteResult, WorkloadRow};
+use hytlb_sim::SchemeKind;
+use hytlb_trace::WorkloadKind;
+
+/// The static-ideal candidate sweep used by the figure binaries: one good
+/// candidate per contiguity regime (exhaustive sweeps are available through
+/// `hytlb_sim::experiment::static_ideal` with a custom candidate list).
+#[must_use]
+pub fn figure_static_sweep() -> Vec<u64> {
+    vec![4, 32, 512, 4096, 65_536]
+}
+
+/// Runs the per-benchmark figure experiment (Figures 7/8/10/11): the six
+/// paper schemes plus a `Static Ideal` column, for every workload under one
+/// scenario. Returns a suite whose last column is `Static Ideal`.
+#[must_use]
+pub fn per_benchmark_suite(scenario: Scenario, config: &PaperConfig) -> SuiteResult {
+    let kinds = SchemeKind::paper_set();
+    let mut suite = run_suite(scenario, &WorkloadKind::all(), &kinds, config);
+    let sweep = figure_static_sweep();
+    suite.schemes.push("Static Ideal".to_owned());
+    let rows: Vec<WorkloadRow> = suite
+        .rows
+        .into_iter()
+        .map(|mut row| {
+            let best = static_ideal(row.workload, scenario, &sweep, config);
+            row.runs.push(best);
+            row
+        })
+        .collect();
+    suite.rows = rows;
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_mid_scale() {
+        // config_from_args reads argv; here we just validate the base.
+        let c = PaperConfig { accesses: 1_000_000, footprint_shift: 2, ..PaperConfig::default() };
+        assert!(c.accesses >= 200_000);
+        assert!(c.footprint_for(hytlb_trace::WorkloadKind::Gups) > 4096);
+    }
+}

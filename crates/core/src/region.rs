@@ -1,0 +1,184 @@
+//! Multi-region anchor distances — the paper's §4.2 extension.
+//!
+//! A single process-wide anchor distance is a compromise when different
+//! semantic regions (code, heap, mmap arenas, stack) exhibit different
+//! contiguity. The extension partitions the virtual address space into a
+//! small number of regions — the hardware holds the region table in a
+//! range-TLB-like structure, so the count is limited — each with its own
+//! anchor distance selected from that region's contiguity histogram.
+
+use crate::distance::DistanceSelector;
+use hytlb_mem::{AddressSpaceMap, ContiguityHistogram};
+use hytlb_types::VirtPageNum;
+
+/// One region: `[start, end)` with its own anchor distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First VPN of the region.
+    pub start: VirtPageNum,
+    /// One-past-the-end VPN.
+    pub end: VirtPageNum,
+    /// Anchor distance used inside the region.
+    pub distance: u64,
+}
+
+impl Region {
+    /// `true` if `vpn` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, vpn: VirtPageNum) -> bool {
+        vpn >= self.start && vpn < self.end
+    }
+}
+
+/// A small, HW-resident table of regions (searched in parallel on lookup,
+/// like RMM's range TLB, hence the capacity limit).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionTable {
+    regions: Vec<Region>,
+}
+
+impl RegionTable {
+    /// Partitions the mapped address space into at most `max_regions`
+    /// regions of similar contiguity and selects a distance per region.
+    ///
+    /// Strategy: group virtually-adjacent chunks whose sizes fall in the
+    /// same log₂ bucket, then greedily merge the pair of adjacent groups
+    /// with the closest mean-contiguity (in log space) until the region
+    /// budget is met. Each final region's distance comes from running the
+    /// selector on that region's own histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_regions` is zero.
+    #[must_use]
+    pub fn partition(map: &AddressSpaceMap, selector: &DistanceSelector, max_regions: usize) -> Self {
+        assert!(max_regions >= 1, "need at least one region");
+        // Seed groups: runs of adjacent chunks sharing a size bucket.
+        #[derive(Debug)]
+        struct Group {
+            start: VirtPageNum,
+            end: VirtPageNum,
+            hist: ContiguityHistogram,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        for chunk in map.chunks() {
+            let bucket = chunk.len.ilog2();
+            match groups.last_mut() {
+                Some(g)
+                    if g.hist.max_contiguity().max(1).ilog2() == bucket
+                        || g.hist.mean_contiguity().max(1.0).log2().round() as u32 == bucket =>
+                {
+                    g.end = chunk.end_vpn();
+                    g.hist.record(chunk.len, 1);
+                }
+                _ => {
+                    let mut hist = ContiguityHistogram::new();
+                    hist.record(chunk.len, 1);
+                    groups.push(Group { start: chunk.vpn, end: chunk.end_vpn(), hist });
+                }
+            }
+        }
+        // Greedy merge until within budget.
+        while groups.len() > max_regions {
+            let (idx, _) = groups
+                .windows(2)
+                .enumerate()
+                .map(|(i, w)| {
+                    let a = w[0].hist.mean_contiguity().max(1.0).log2();
+                    let b = w[1].hist.mean_contiguity().max(1.0).log2();
+                    (i, (a - b).abs())
+                })
+                .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+                .expect("len > max_regions >= 1");
+            let right = groups.remove(idx + 1);
+            let left = &mut groups[idx];
+            left.end = right.end;
+            left.hist.merge(&right.hist);
+        }
+        let regions = groups
+            .into_iter()
+            .map(|g| Region { start: g.start, end: g.end, distance: selector.select(&g.hist) })
+            .collect();
+        RegionTable { regions }
+    }
+
+    /// The regions, in ascending virtual order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Distance of the region containing `vpn`, if any region does — the
+    /// parallel region-table search of §4.2.
+    #[must_use]
+    pub fn distance_for(&self, vpn: VirtPageNum) -> Option<u64> {
+        self.regions.iter().find(|r| r.contains(vpn)).map(|r| r.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hytlb_types::{Permissions, PhysFrameNum};
+
+    fn bimodal_map() -> AddressSpaceMap {
+        let mut m = AddressSpaceMap::new();
+        // Fine-grained area: 128 chunks of 4 pages.
+        let mut vpn = 0u64;
+        let mut pfn = 1u64 << 20;
+        for _ in 0..128 {
+            m.map_range(VirtPageNum::new(vpn), PhysFrameNum::new(pfn), 4, Permissions::READ_WRITE);
+            vpn += 4;
+            pfn += 5;
+        }
+        // Huge area: one 16 K-page chunk far away.
+        m.map_range(VirtPageNum::new(1 << 20), PhysFrameNum::new(1 << 22), 1 << 14, Permissions::READ_WRITE);
+        m
+    }
+
+    #[test]
+    fn partition_separates_contiguity_modes() {
+        let map = bimodal_map();
+        let rt = RegionTable::partition(&map, &DistanceSelector::paper_default(), 4);
+        assert!(rt.regions().len() >= 2);
+        let d_fine = rt.distance_for(VirtPageNum::new(0)).unwrap();
+        let d_huge = rt.distance_for(VirtPageNum::new(1 << 20)).unwrap();
+        assert!(d_fine <= 8);
+        assert!(d_huge >= 1 << 10);
+    }
+
+    #[test]
+    fn budget_of_one_collapses_to_single_region() {
+        let map = bimodal_map();
+        let rt = RegionTable::partition(&map, &DistanceSelector::paper_default(), 1);
+        assert_eq!(rt.regions().len(), 1);
+        let only = rt.regions()[0];
+        assert!(only.contains(VirtPageNum::new(0)));
+        assert!(only.contains(VirtPageNum::new(1 << 20)));
+    }
+
+    #[test]
+    fn unmapped_vpn_has_no_region_distance_outside_span() {
+        let map = bimodal_map();
+        let rt = RegionTable::partition(&map, &DistanceSelector::paper_default(), 4);
+        assert_eq!(rt.distance_for(VirtPageNum::new(u64::MAX)), None);
+    }
+
+    #[test]
+    fn regions_are_ordered_and_disjoint() {
+        let map = bimodal_map();
+        let rt = RegionTable::partition(&map, &DistanceSelector::paper_default(), 3);
+        let rs = rt.regions();
+        for w in rs.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn empty_map_gives_empty_table() {
+        let map = AddressSpaceMap::new();
+        let rt = RegionTable::partition(&map, &DistanceSelector::paper_default(), 4);
+        assert!(rt.regions().is_empty());
+        assert_eq!(rt.distance_for(VirtPageNum::new(0)), None);
+    }
+}

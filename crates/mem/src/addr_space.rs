@@ -1,0 +1,464 @@
+//! A process's virtual→physical mapping, stored as maximally-merged chunks.
+//!
+//! A *chunk* is a run of virtual pages mapped to physically contiguous
+//! frames with uniform permissions — exactly the unit of contiguity every
+//! coalescing scheme in the paper exploits. Keeping the map in merged-chunk
+//! form makes the contiguity histogram (paper §4.1) a trivial scan and keeps
+//! translation `O(log chunks)`.
+
+use hytlb_types::{Permissions, PhysFrameNum, VirtPageNum, GIANT_PAGE_PAGES, HUGE_PAGE_PAGES};
+use std::collections::BTreeMap;
+
+/// One maximal run of contiguously-mapped pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MapChunk {
+    /// First virtual page of the run.
+    pub vpn: VirtPageNum,
+    /// Frame backing `vpn`; page `vpn + i` is backed by `pfn + i`.
+    pub pfn: PhysFrameNum,
+    /// Length of the run in 4 KB pages.
+    pub len: u64,
+    /// Permissions shared by every page of the run.
+    pub perms: Permissions,
+}
+
+impl MapChunk {
+    /// `true` if `vpn` lies inside this chunk.
+    #[must_use]
+    pub fn contains(&self, vpn: VirtPageNum) -> bool {
+        vpn >= self.vpn && (vpn - self.vpn) < self.len
+    }
+
+    /// Frame backing `vpn`, or `None` if outside the chunk.
+    #[must_use]
+    pub fn translate(&self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
+        self.contains(vpn).then(|| self.pfn + (vpn - self.vpn))
+    }
+
+    /// One-past-the-end virtual page.
+    #[must_use]
+    pub fn end_vpn(&self) -> VirtPageNum {
+        self.vpn + self.len
+    }
+}
+
+/// A virtual address space's page mapping.
+///
+/// Invariants: chunks are disjoint in virtual space, sorted by `vpn`, and
+/// maximally merged (no two adjacent chunks are contiguous in both address
+/// spaces with equal permissions).
+///
+/// # Examples
+///
+/// ```
+/// use hytlb_mem::AddressSpaceMap;
+/// use hytlb_types::{Permissions, PhysFrameNum, VirtPageNum};
+///
+/// let mut map = AddressSpaceMap::new();
+/// map.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 4, Permissions::READ_WRITE);
+/// map.map_range(VirtPageNum::new(4), PhysFrameNum::new(104), 4, Permissions::READ_WRITE);
+/// // The two ranges merge into one 8-page chunk.
+/// assert_eq!(map.chunks().count(), 1);
+/// assert_eq!(map.translate(VirtPageNum::new(5)), Some(PhysFrameNum::new(105)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AddressSpaceMap {
+    /// Keyed by starting VPN.
+    chunks: BTreeMap<u64, MapChunk>,
+    mapped_pages: u64,
+}
+
+impl AddressSpaceMap {
+    /// Creates an empty address space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mapped 4 KB pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// Footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.mapped_pages * hytlb_types::PAGE_SIZE as u64
+    }
+
+    /// Iterates over the maximal chunks in ascending virtual order.
+    pub fn chunks(&self) -> impl Iterator<Item = &MapChunk> {
+        self.chunks.values()
+    }
+
+    /// Number of maximal chunks.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Maps `len` pages at `vpn` to frames starting at `pfn`, merging with
+    /// adjacent chunks when virtually *and* physically contiguous with equal
+    /// permissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or if any page of the range is already mapped —
+    /// the OS models in this workspace never double-map, so a double map is
+    /// a bug, not a recoverable condition.
+    pub fn map_range(&mut self, vpn: VirtPageNum, pfn: PhysFrameNum, len: u64, perms: Permissions) {
+        assert!(len > 0, "cannot map an empty range");
+        assert!(
+            !self.overlaps(vpn, len),
+            "double map at {vpn} (+{len} pages)"
+        );
+        let mut chunk = MapChunk { vpn, pfn, len, perms };
+        // Merge with predecessor.
+        if let Some((&pk, &prev)) = self.chunks.range(..vpn.as_u64()).next_back() {
+            if prev.end_vpn() == chunk.vpn
+                && prev.pfn + prev.len == chunk.pfn
+                && prev.perms == chunk.perms
+            {
+                self.chunks.remove(&pk);
+                chunk = MapChunk { vpn: prev.vpn, pfn: prev.pfn, len: prev.len + chunk.len, perms };
+            }
+        }
+        // Merge with successor.
+        if let Some((&nk, &next)) = self.chunks.range(chunk.end_vpn().as_u64()..).next() {
+            if chunk.end_vpn() == next.vpn
+                && chunk.pfn + chunk.len == next.pfn
+                && chunk.perms == next.perms
+            {
+                self.chunks.remove(&nk);
+                chunk.len += next.len;
+            }
+        }
+        self.chunks.insert(chunk.vpn.as_u64(), chunk);
+        self.mapped_pages += len;
+    }
+
+    /// Unmaps `len` pages starting at `vpn`, splitting chunks as needed.
+    /// Pages in the range that are not mapped are ignored.
+    pub fn unmap_range(&mut self, vpn: VirtPageNum, len: u64) {
+        let end = vpn + len;
+        // Collect affected chunk keys first to keep the borrow checker happy.
+        let keys: Vec<u64> = self
+            .chunks
+            .range(..end.as_u64())
+            .rev()
+            .take_while(|(_, c)| c.end_vpn() > vpn)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            let c = self.chunks.remove(&k).expect("key just collected");
+            self.mapped_pages -= c.len;
+            // Left remainder.
+            if c.vpn < vpn {
+                let keep = vpn - c.vpn;
+                self.chunks.insert(
+                    c.vpn.as_u64(),
+                    MapChunk { vpn: c.vpn, pfn: c.pfn, len: keep, perms: c.perms },
+                );
+                self.mapped_pages += keep;
+            }
+            // Right remainder.
+            if c.end_vpn() > end {
+                let keep = c.end_vpn() - end;
+                let off = end - c.vpn;
+                self.chunks.insert(
+                    end.as_u64(),
+                    MapChunk { vpn: end, pfn: c.pfn + off, len: keep, perms: c.perms },
+                );
+                self.mapped_pages += keep;
+            }
+        }
+    }
+
+    /// `true` if any page in `[vpn, vpn+len)` is mapped.
+    #[must_use]
+    pub fn overlaps(&self, vpn: VirtPageNum, len: u64) -> bool {
+        let end = vpn + len;
+        self.chunks
+            .range(..end.as_u64())
+            .next_back()
+            .is_some_and(|(_, c)| c.end_vpn() > vpn)
+    }
+
+    /// The chunk containing `vpn`, if mapped.
+    #[must_use]
+    pub fn chunk_containing(&self, vpn: VirtPageNum) -> Option<&MapChunk> {
+        self.chunks
+            .range(..=vpn.as_u64())
+            .next_back()
+            .map(|(_, c)| c)
+            .filter(|c| c.contains(vpn))
+    }
+
+    /// Translates a virtual page to its backing frame.
+    #[must_use]
+    pub fn translate(&self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
+        self.chunk_containing(vpn).and_then(|c| c.translate(vpn))
+    }
+
+    /// Permissions of the page at `vpn`, if mapped.
+    #[must_use]
+    pub fn permissions(&self, vpn: VirtPageNum) -> Option<Permissions> {
+        self.chunk_containing(vpn).map(|c| c.perms)
+    }
+
+    /// Number of pages mapped contiguously (in both address spaces) starting
+    /// at `vpn` — i.e. the remaining length of `vpn`'s chunk. This is what
+    /// an anchor PTE at `vpn` would record as its contiguity.
+    #[must_use]
+    pub fn contiguity_at(&self, vpn: VirtPageNum) -> u64 {
+        self.chunk_containing(vpn)
+            .map_or(0, |c| c.len - (vpn - c.vpn))
+    }
+
+    /// If `vpn` lies inside a mapping usable as an x86-64 2 MB page —
+    /// a 2 MB-aligned virtual region fully backed by a 2 MB-aligned
+    /// physically-contiguous run — returns the first VPN of that huge page.
+    #[must_use]
+    pub fn huge_page_at(&self, vpn: VirtPageNum) -> Option<VirtPageNum> {
+        let head = vpn.align_down(HUGE_PAGE_PAGES);
+        let c = self.chunk_containing(head)?;
+        // The whole 2 MB region must fall inside this single maximal chunk.
+        if c.end_vpn() < head + HUGE_PAGE_PAGES {
+            return None;
+        }
+        let head_pfn = c.translate(head).expect("head inside chunk");
+        head_pfn.is_aligned(HUGE_PAGE_PAGES).then_some(head)
+    }
+
+    /// Like [`AddressSpaceMap::huge_page_at`] for x86-64 1 GB giant pages:
+    /// the 1 GB-aligned virtual region around `vpn` must be fully backed by
+    /// one 1 GB-aligned physically-contiguous run.
+    #[must_use]
+    pub fn giant_page_at(&self, vpn: VirtPageNum) -> Option<VirtPageNum> {
+        let head = vpn.align_down(GIANT_PAGE_PAGES);
+        let c = self.chunk_containing(head)?;
+        if c.end_vpn() < head + GIANT_PAGE_PAGES {
+            return None;
+        }
+        let head_pfn = c.translate(head).expect("head inside chunk");
+        head_pfn.is_aligned(GIANT_PAGE_PAGES).then_some(head)
+    }
+
+    /// Iterates over every mapped `(vpn, pfn)` pair. Intended for tests and
+    /// page-table construction; cost is `O(mapped_pages)`.
+    pub fn iter_pages(&self) -> impl Iterator<Item = (VirtPageNum, PhysFrameNum)> + '_ {
+        self.chunks
+            .values()
+            .flat_map(|c| (0..c.len).map(move |i| (c.vpn + i, c.pfn + i)))
+    }
+
+    /// Builds an index for O(log chunks) lookup of the *i-th mapped page*.
+    /// Workload traces address pages by logical index `[0, mapped_pages)`;
+    /// the indexer places them onto whatever virtual layout the scenario
+    /// produced (including layouts with holes).
+    #[must_use]
+    pub fn page_index(&self) -> PageIndex {
+        let mut cumulative = Vec::with_capacity(self.chunks.len());
+        let mut acc = 0u64;
+        for c in self.chunks.values() {
+            cumulative.push((acc, c.vpn));
+            acc += c.len;
+        }
+        PageIndex { cumulative, total: acc }
+    }
+}
+
+/// Maps logical page indices to virtual page numbers of a specific
+/// [`AddressSpaceMap`]. See [`AddressSpaceMap::page_index`].
+#[derive(Debug, Clone)]
+pub struct PageIndex {
+    /// `(first_logical_index, chunk_start_vpn)` per chunk, ascending.
+    cumulative: Vec<(u64, VirtPageNum)>,
+    total: u64,
+}
+
+impl PageIndex {
+    /// Number of mapped pages (valid indices are `0..len()`).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` for an empty mapping.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The VPN of the `i`-th mapped page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn nth_page(&self, i: u64) -> VirtPageNum {
+        assert!(i < self.total, "page index {i} out of {}", self.total);
+        let pos = self
+            .cumulative
+            .partition_point(|&(first, _)| first <= i)
+            - 1;
+        let (first, vpn) = self.cumulative[pos];
+        vpn + (i - first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rw() -> Permissions {
+        Permissions::READ_WRITE
+    }
+
+    #[test]
+    fn empty_map_translates_nothing() {
+        let m = AddressSpaceMap::new();
+        assert_eq!(m.translate(VirtPageNum::new(0)), None);
+        assert_eq!(m.mapped_pages(), 0);
+        assert_eq!(m.contiguity_at(VirtPageNum::new(5)), 0);
+    }
+
+    #[test]
+    fn basic_map_and_translate() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(10), PhysFrameNum::new(50), 5, rw());
+        assert_eq!(m.translate(VirtPageNum::new(12)), Some(PhysFrameNum::new(52)));
+        assert_eq!(m.translate(VirtPageNum::new(9)), None);
+        assert_eq!(m.translate(VirtPageNum::new(15)), None);
+        assert_eq!(m.mapped_pages(), 5);
+        assert_eq!(m.permissions(VirtPageNum::new(10)), Some(rw()));
+    }
+
+    #[test]
+    fn adjacent_contiguous_ranges_merge() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 4, rw());
+        m.map_range(VirtPageNum::new(8), PhysFrameNum::new(108), 4, rw());
+        m.map_range(VirtPageNum::new(4), PhysFrameNum::new(104), 4, rw());
+        assert_eq!(m.chunk_count(), 1);
+        assert_eq!(m.contiguity_at(VirtPageNum::new(0)), 12);
+        assert_eq!(m.contiguity_at(VirtPageNum::new(11)), 1);
+    }
+
+    #[test]
+    fn physically_discontiguous_ranges_do_not_merge() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 4, rw());
+        m.map_range(VirtPageNum::new(4), PhysFrameNum::new(200), 4, rw());
+        assert_eq!(m.chunk_count(), 2);
+        assert_eq!(m.contiguity_at(VirtPageNum::new(2)), 2);
+    }
+
+    #[test]
+    fn permission_boundaries_break_merging() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 4, rw());
+        m.map_range(VirtPageNum::new(4), PhysFrameNum::new(104), 4, Permissions::READ);
+        assert_eq!(m.chunk_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double map")]
+    fn double_map_panics() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(0), 4, rw());
+        m.map_range(VirtPageNum::new(3), PhysFrameNum::new(10), 1, rw());
+    }
+
+    #[test]
+    fn unmap_middle_splits_chunk() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 10, rw());
+        m.unmap_range(VirtPageNum::new(4), 2);
+        assert_eq!(m.chunk_count(), 2);
+        assert_eq!(m.mapped_pages(), 8);
+        assert_eq!(m.translate(VirtPageNum::new(4)), None);
+        assert_eq!(m.translate(VirtPageNum::new(6)), Some(PhysFrameNum::new(106)));
+        assert_eq!(m.contiguity_at(VirtPageNum::new(0)), 4);
+        assert_eq!(m.contiguity_at(VirtPageNum::new(6)), 4);
+    }
+
+    #[test]
+    fn unmap_spanning_multiple_chunks() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 4, rw());
+        m.map_range(VirtPageNum::new(4), PhysFrameNum::new(200), 4, rw());
+        m.map_range(VirtPageNum::new(8), PhysFrameNum::new(300), 4, rw());
+        m.unmap_range(VirtPageNum::new(2), 8);
+        assert_eq!(m.mapped_pages(), 4);
+        assert_eq!(m.translate(VirtPageNum::new(1)), Some(PhysFrameNum::new(101)));
+        assert_eq!(m.translate(VirtPageNum::new(5)), None);
+        assert_eq!(m.translate(VirtPageNum::new(10)), Some(PhysFrameNum::new(302)));
+    }
+
+    #[test]
+    fn unmap_unmapped_range_is_noop() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(10), PhysFrameNum::new(0), 2, rw());
+        m.unmap_range(VirtPageNum::new(0), 5);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn huge_page_detection_requires_alignment_in_both_spaces() {
+        let mut m = AddressSpaceMap::new();
+        // VA region [512, 1024) backed by PA [1024, 1536): both 2MB-aligned.
+        m.map_range(VirtPageNum::new(512), PhysFrameNum::new(1024), 512, rw());
+        assert_eq!(m.huge_page_at(VirtPageNum::new(700)), Some(VirtPageNum::new(512)));
+        // VA [2048, 2560) backed by misaligned PA.
+        m.map_range(VirtPageNum::new(2048), PhysFrameNum::new(4097), 512, rw());
+        assert_eq!(m.huge_page_at(VirtPageNum::new(2100)), None);
+        // Aligned but short run.
+        m.map_range(VirtPageNum::new(4096), PhysFrameNum::new(8192), 511, rw());
+        assert_eq!(m.huge_page_at(VirtPageNum::new(4100)), None);
+    }
+
+    #[test]
+    fn huge_page_inside_larger_chunk() {
+        let mut m = AddressSpaceMap::new();
+        // 4 MB chunk aligned in both spaces: both 2 MB halves are huge pages.
+        m.map_range(VirtPageNum::new(1024), PhysFrameNum::new(2048), 1024, rw());
+        assert_eq!(m.huge_page_at(VirtPageNum::new(1024)), Some(VirtPageNum::new(1024)));
+        assert_eq!(m.huge_page_at(VirtPageNum::new(1600)), Some(VirtPageNum::new(1536)));
+    }
+
+    #[test]
+    fn page_index_covers_holes() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(10), PhysFrameNum::new(0), 3, rw());
+        m.map_range(VirtPageNum::new(100), PhysFrameNum::new(50), 2, rw());
+        let idx = m.page_index();
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.nth_page(0), VirtPageNum::new(10));
+        assert_eq!(idx.nth_page(2), VirtPageNum::new(12));
+        assert_eq!(idx.nth_page(3), VirtPageNum::new(100));
+        assert_eq!(idx.nth_page(4), VirtPageNum::new(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn page_index_rejects_out_of_range() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(0), 1, rw());
+        let _ = m.page_index().nth_page(1);
+    }
+
+    #[test]
+    fn iter_pages_matches_translate() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(3), PhysFrameNum::new(77), 3, rw());
+        m.map_range(VirtPageNum::new(9), PhysFrameNum::new(11), 2, rw());
+        let pages: Vec<_> = m.iter_pages().collect();
+        assert_eq!(pages.len(), 5);
+        for (v, p) in pages {
+            assert_eq!(m.translate(v), Some(p));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The machine: a translation scheme driven by a logical-address trace.
+
+use crate::config::{PaperConfig, SchemeKind};
+use hytlb_mem::{AddressSpaceMap, PageIndex};
+use hytlb_schemes::{SchemeStats, TranslationScheme};
+use hytlb_types::{VirtAddr, PAGE_SIZE};
+use std::sync::Arc;
+
+/// Translation-CPI contributions, as stacked in Figures 10–11.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CpiBreakdown {
+    /// Regular L2 hits (7 cycles each).
+    pub l2_hit: f64,
+    /// Anchor / cluster / range hits (8 cycles each).
+    pub coalesced_hit: f64,
+    /// Page-table walks (50 cycles each).
+    pub walk: f64,
+}
+
+impl CpiBreakdown {
+    /// Total translation CPI.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.l2_hit + self.coalesced_hit + self.walk
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Scheme label.
+    pub scheme: String,
+    /// Accesses simulated.
+    pub accesses: u64,
+    /// Instructions represented (accesses / mem-op ratio).
+    pub instructions: u64,
+    /// The MMU counters.
+    pub stats: SchemeStats,
+    /// Cycle cost of each structure per instruction.
+    pub cpi: CpiBreakdown,
+    /// Anchor distance in effect at the end of the run (anchor schemes).
+    pub anchor_distance: Option<u64>,
+}
+
+impl RunStats {
+    /// The paper's headline metric: page walks ("TLB misses").
+    #[must_use]
+    pub fn tlb_misses(&self) -> u64 {
+        self.stats.walks
+    }
+
+    /// Total translation CPI.
+    #[must_use]
+    pub fn translation_cpi(&self) -> f64 {
+        self.cpi.total()
+    }
+
+    /// Misses relative to a baseline run, in percent (Figures 2 and 7–9).
+    #[must_use]
+    pub fn relative_misses_pct(&self, baseline: &RunStats) -> f64 {
+        if baseline.tlb_misses() == 0 {
+            return 0.0;
+        }
+        self.tlb_misses() as f64 / baseline.tlb_misses() as f64 * 100.0
+    }
+}
+
+/// A scheme plus the placement layer that turns logical trace addresses
+/// into virtual addresses of the mapping under test.
+pub struct Machine {
+    scheme: Box<dyn TranslationScheme>,
+    index: PageIndex,
+    config: PaperConfig,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("scheme", &self.scheme.name())
+            .field("mapped_pages", &self.index.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine running `kind` over `map`.
+    #[must_use]
+    pub fn for_scheme(kind: SchemeKind, map: &AddressSpaceMap, config: &PaperConfig) -> Self {
+        let map = Arc::new(map.clone());
+        Machine { scheme: kind.build(&map, config), index: map.page_index(), config: *config }
+    }
+
+    /// Builds a machine around an existing scheme (used for ablations that
+    /// construct schemes with custom configs).
+    #[must_use]
+    pub fn from_scheme(scheme: Box<dyn TranslationScheme>, map: &AddressSpaceMap, config: &PaperConfig) -> Self {
+        Machine { scheme, index: map.page_index(), config: *config }
+    }
+
+    /// The underlying scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &dyn TranslationScheme {
+        self.scheme.as_ref()
+    }
+
+    /// Drives a logical-address trace through the MMU. Logical addresses
+    /// must lie within `mapped_pages × 4096` (generators built with the
+    /// same footprint guarantee this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace address exceeds the mapping's footprint, or if the
+    /// MMU mistranslates (cross-checked against nothing at runtime — the
+    /// schemes assert internally — but faults on mapped-only traces are a
+    /// harness bug and do panic).
+    pub fn run<I: IntoIterator<Item = u64>>(&mut self, trace: I) -> RunStats {
+        self.run_with_flush_period(trace, u64::MAX)
+    }
+
+    /// Like [`Machine::run`], but flushes all TLB state every
+    /// `flush_period` accesses — modelling context switches, which flush
+    /// the TLB on native x86 Linux (paper §3.3). Coalesced schemes refill
+    /// their reach with far fewer walks than the baseline, so frequent
+    /// switches *widen* their advantage.
+    pub fn run_with_flush_period<I: IntoIterator<Item = u64>>(
+        &mut self,
+        trace: I,
+        flush_period: u64,
+    ) -> RunStats {
+        let epoch_every = self.config.epoch_accesses();
+        let mut since_epoch = 0u64;
+        let mut since_flush = 0u64;
+        let mut accesses = 0u64;
+        for logical in trace {
+            let page = logical / PAGE_SIZE as u64;
+            let offset = logical % PAGE_SIZE as u64;
+            let vpn = self.index.nth_page(page);
+            let va = VirtAddr::new(vpn.base_addr().as_u64() + offset);
+            let result = self.scheme.access(va);
+            debug_assert!(result.pfn.is_some(), "fault on a mapped-only trace at {va}");
+            accesses += 1;
+            since_epoch += 1;
+            since_flush += 1;
+            if since_epoch >= epoch_every {
+                self.scheme.on_epoch();
+                since_epoch = 0;
+            }
+            if since_flush >= flush_period {
+                self.scheme.flush();
+                since_flush = 0;
+            }
+        }
+        self.finish(accesses)
+    }
+
+    fn finish(&self, accesses: u64) -> RunStats {
+        let stats = *self.scheme.stats();
+        let instructions =
+            (accesses as f64 / self.config.mem_ops_per_instruction).round().max(1.0) as u64;
+        let lat = self.config.latency;
+        let cpi = CpiBreakdown {
+            l2_hit: (stats.l2_regular_hits * lat.l2_hit.as_u64()) as f64 / instructions as f64,
+            coalesced_hit: (stats.coalesced_hits * lat.coalesced_hit.as_u64()) as f64
+                / instructions as f64,
+            walk: ((stats.walks + stats.faults) * lat.walk.as_u64()) as f64 / instructions as f64,
+        };
+        RunStats {
+            scheme: self.scheme.name().to_owned(),
+            accesses,
+            instructions,
+            stats,
+            cpi,
+            anchor_distance: self.scheme.anchor_distance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hytlb_mem::Scenario;
+    use hytlb_trace::WorkloadKind;
+
+    fn quick() -> PaperConfig {
+        PaperConfig { accesses: 20_000, ..PaperConfig::quick() }
+    }
+
+    #[test]
+    fn run_counts_accesses_and_cpi() {
+        let config = quick();
+        let map = Scenario::MediumContiguity.generate(4096, 1);
+        let mut m = Machine::for_scheme(SchemeKind::Baseline, &map, &config);
+        let stats = m.run(WorkloadKind::Canneal.generator(4096, 1).take(20_000));
+        assert_eq!(stats.accesses, 20_000);
+        assert_eq!(stats.stats.accesses, 20_000);
+        assert!(stats.translation_cpi() > 0.0);
+        assert_eq!(stats.scheme, "Base");
+        assert_eq!(stats.anchor_distance, None);
+    }
+
+    #[test]
+    fn anchor_machine_reports_distance() {
+        let config = quick();
+        let map = Scenario::LowContiguity.generate(4096, 2);
+        let mut m = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config);
+        let stats = m.run(WorkloadKind::Gups.generator(4096, 2).take(5_000));
+        let d = stats.anchor_distance.expect("anchor scheme has a distance");
+        assert!(d.is_power_of_two());
+        assert!(d <= 16, "low contiguity should select a small distance, got {d}");
+    }
+
+    #[test]
+    fn flush_period_increases_walks() {
+        let config = quick();
+        let map = Scenario::MediumContiguity.generate(4096, 5);
+        let trace: Vec<u64> = WorkloadKind::Canneal.generator(4096, 5).take(30_000).collect();
+        let calm = Machine::for_scheme(SchemeKind::Baseline, &map, &config)
+            .run_with_flush_period(trace.iter().copied(), u64::MAX);
+        let churned = Machine::for_scheme(SchemeKind::Baseline, &map, &config)
+            .run_with_flush_period(trace.iter().copied(), 1_000);
+        assert!(churned.tlb_misses() > calm.tlb_misses());
+        assert_eq!(churned.accesses, calm.accesses);
+    }
+
+    #[test]
+    fn coalescing_recovers_faster_from_flushes() {
+        let config = quick();
+        let map = Scenario::MediumContiguity.generate(8192, 6);
+        let trace: Vec<u64> = WorkloadKind::Canneal.generator(8192, 6).take(50_000).collect();
+        let walks = |kind| {
+            Machine::for_scheme(kind, &map, &config)
+                .run_with_flush_period(trace.iter().copied(), 5_000)
+                .tlb_misses()
+        };
+        assert!(walks(SchemeKind::AnchorDynamic) < walks(SchemeKind::Baseline));
+    }
+
+    #[test]
+    fn relative_misses_math() {
+        let config = quick();
+        let map = Scenario::MaxContiguity.generate(1 << 13, 3);
+        let trace: Vec<u64> = WorkloadKind::Milc.generator(1 << 13, 3).take(30_000).collect();
+        let base = Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(trace.iter().copied());
+        let anchor =
+            Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(trace.iter().copied());
+        let rel = anchor.relative_misses_pct(&base);
+        assert!(rel < 30.0, "anchor at {rel}% of baseline misses");
+        assert!((base.relative_misses_pct(&base) - 100.0).abs() < 1e-9);
+    }
+}

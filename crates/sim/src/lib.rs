@@ -1,0 +1,41 @@
+//! Trace-driven simulation engine and experiment harness.
+//!
+//! This crate ties everything together:
+//!
+//! * [`PaperConfig`] — the evaluation configuration of Table 3 (latencies,
+//!   epoch length, trace length, seeds).
+//! * [`SchemeKind`] — the registry of translation schemes compared in the
+//!   paper, each buildable against any mapping.
+//! * [`Machine`] — a scheme plus the logical-address placement layer;
+//!   drives a trace through the MMU and collects [`RunStats`].
+//! * [`experiment`] — the full evaluation matrix (workload × scenario ×
+//!   scheme), static-ideal sweeps, and Table 5/6 extraction.
+//! * [`report`] — text renderers that print the same rows/series as the
+//!   paper's figures and tables, plus JSON output.
+//!
+//! # Examples
+//!
+//! ```
+//! use hytlb_sim::{Machine, PaperConfig, SchemeKind};
+//! use hytlb_mem::Scenario;
+//! use hytlb_trace::WorkloadKind;
+//!
+//! let config = PaperConfig::default();
+//! let map = Scenario::MediumContiguity.generate(4096, config.seed);
+//! let mut machine = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config);
+//! let trace = WorkloadKind::Canneal.generator(4096, config.seed).take(50_000);
+//! let stats = machine.run(trace);
+//! assert_eq!(stats.accesses, 50_000);
+//! assert!(stats.translation_cpi() >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+pub mod experiment;
+pub mod report;
+
+pub use config::{PaperConfig, SchemeKind};
+pub use engine::{CpiBreakdown, Machine, RunStats};

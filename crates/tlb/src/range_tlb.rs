@@ -1,0 +1,212 @@
+//! The fully-associative range TLB of Redundant Memory Mapping (RMM).
+//!
+//! RMM translates with variable-length *ranges*: `[start_vpn, start_vpn +
+//! len)` maps to `[start_pfn, ...)` with a fixed offset. Because a lookup
+//! must compare the incoming VPN against both bounds of every entry, the
+//! structure is fully associative and therefore small — 32 entries in the
+//! paper's configuration (Table 3, following Karakostas et al.).
+
+use hytlb_types::{PhysFrameNum, VirtPageNum};
+
+/// One range translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeEntry {
+    /// First virtual page of the range.
+    pub start_vpn: VirtPageNum,
+    /// Frame backing `start_vpn`.
+    pub start_pfn: PhysFrameNum,
+    /// Length in 4 KB pages.
+    pub len: u64,
+}
+
+impl RangeEntry {
+    /// `true` if `vpn` falls inside the range.
+    #[must_use]
+    pub fn covers(&self, vpn: VirtPageNum) -> bool {
+        vpn >= self.start_vpn && (vpn - self.start_vpn) < self.len
+    }
+
+    /// Frame backing `vpn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `vpn` is outside the range.
+    #[must_use]
+    pub fn translate(&self, vpn: VirtPageNum) -> PhysFrameNum {
+        debug_assert!(self.covers(vpn));
+        self.start_pfn + (vpn - self.start_vpn)
+    }
+}
+
+/// A fully-associative, LRU-replaced array of range translations.
+///
+/// # Examples
+///
+/// ```
+/// use hytlb_tlb::{RangeEntry, RangeTlb};
+/// use hytlb_types::{PhysFrameNum, VirtPageNum};
+///
+/// let mut rt = RangeTlb::new(32);
+/// rt.insert(RangeEntry {
+///     start_vpn: VirtPageNum::new(100),
+///     start_pfn: PhysFrameNum::new(500),
+///     len: 50,
+/// });
+/// let pfn = rt.lookup(VirtPageNum::new(120)).unwrap();
+/// assert_eq!(pfn, PhysFrameNum::new(520));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangeTlb {
+    entries: Vec<(RangeEntry, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl RangeTlb {
+    /// Creates a range TLB with the given entry capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "range TLB needs at least one entry");
+        RangeTlb { entries: Vec::with_capacity(capacity), capacity, tick: 0 }
+    }
+
+    /// Entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no range is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fully-associative lookup: returns the translation for `vpn` if some
+    /// cached range covers it, refreshing that range's recency.
+    pub fn lookup(&mut self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries
+            .iter_mut()
+            .find(|(e, _)| e.covers(vpn))
+            .map(|(e, stamp)| {
+                *stamp = tick;
+                e.translate(vpn)
+            })
+    }
+
+    /// Inserts a range, evicting the LRU entry when full. A range equal to
+    /// an existing one only refreshes recency. Returns the evicted range,
+    /// if any.
+    pub fn insert(&mut self, entry: RangeEntry) -> Option<RangeEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, stamp)) = self.entries.iter_mut().find(|(e, _)| *e == entry) {
+            *stamp = tick;
+            return None;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((entry, tick));
+            return None;
+        }
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(i, _)| i)
+            .expect("full, hence nonempty");
+        let victim = std::mem::replace(&mut self.entries[idx], (entry, tick));
+        Some(victim.0)
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(start: u64, pfn: u64, len: u64) -> RangeEntry {
+        RangeEntry {
+            start_vpn: VirtPageNum::new(start),
+            start_pfn: PhysFrameNum::new(pfn),
+            len,
+        }
+    }
+
+    #[test]
+    fn covers_and_translates() {
+        let r = range(10, 100, 5);
+        assert!(r.covers(VirtPageNum::new(10)));
+        assert!(r.covers(VirtPageNum::new(14)));
+        assert!(!r.covers(VirtPageNum::new(15)));
+        assert!(!r.covers(VirtPageNum::new(9)));
+        assert_eq!(r.translate(VirtPageNum::new(12)), PhysFrameNum::new(102));
+    }
+
+    #[test]
+    fn lookup_scans_all_entries() {
+        let mut rt = RangeTlb::new(4);
+        rt.insert(range(0, 0, 10));
+        rt.insert(range(100, 500, 10));
+        rt.insert(range(1000, 900, 1));
+        assert_eq!(rt.lookup(VirtPageNum::new(105)), Some(PhysFrameNum::new(505)));
+        assert_eq!(rt.lookup(VirtPageNum::new(1000)), Some(PhysFrameNum::new(900)));
+        assert_eq!(rt.lookup(VirtPageNum::new(50)), None);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut rt = RangeTlb::new(2);
+        rt.insert(range(0, 0, 1));
+        rt.insert(range(10, 10, 1));
+        // Touch the first range so the second is LRU.
+        assert!(rt.lookup(VirtPageNum::new(0)).is_some());
+        let evicted = rt.insert(range(20, 20, 1));
+        assert_eq!(evicted, Some(range(10, 10, 1)));
+        assert!(rt.lookup(VirtPageNum::new(0)).is_some());
+        assert!(rt.lookup(VirtPageNum::new(10)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_instead_of_duplicating() {
+        let mut rt = RangeTlb::new(2);
+        rt.insert(range(0, 0, 4));
+        rt.insert(range(0, 0, 4));
+        assert_eq!(rt.len(), 1);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut rt = RangeTlb::new(2);
+        rt.insert(range(0, 0, 4));
+        rt.flush();
+        assert!(rt.is_empty());
+        assert_eq!(rt.capacity(), 2);
+    }
+
+    #[test]
+    fn huge_ranges_translate_far_offsets() {
+        let mut rt = RangeTlb::new(1);
+        rt.insert(range(0, 1 << 20, 1 << 24));
+        assert_eq!(
+            rt.lookup(VirtPageNum::new((1 << 24) - 1)),
+            Some(PhysFrameNum::new((1 << 20) + (1 << 24) - 1))
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Hit/miss counters.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// Accumulated hit/miss counts for one translation structure.
+///
+/// ```
+/// use hytlb_tlb::TlbStats;
+/// let mut s = TlbStats::default();
+/// s.record_hit();
+/// s.record_miss();
+/// assert_eq!(s.accesses(), 2);
+/// assert_eq!(s.hit_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TlbStats {
+    hits: u64,
+    misses: u64,
+}
+
+impl TlbStats {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one hit.
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records one miss.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Total hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits / accesses; 0.0 when untouched.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Misses / accesses; 0.0 when untouched.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl Add for TlbStats {
+    type Output = TlbStats;
+    fn add(self, rhs: TlbStats) -> TlbStats {
+        TlbStats { hits: self.hits + rhs.hits, misses: self.misses + rhs.misses }
+    }
+}
+
+impl AddAssign for TlbStats {
+    fn add_assign(&mut self, rhs: TlbStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for TlbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.2}% hit rate)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut s = TlbStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        for _ in 0..3 {
+            s.record_hit();
+        }
+        s.record_miss();
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_combines_counts() {
+        let mut a = TlbStats::new();
+        a.record_hit();
+        let mut b = TlbStats::new();
+        b.record_miss();
+        let c = a + b;
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        a += b;
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn display_mentions_rate() {
+        let mut s = TlbStats::new();
+        s.record_hit();
+        assert!(s.to_string().contains("100.00%"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Trace-stream analysis: the measurements used to validate that each
+//! workload model reproduces its benchmark's TLB-relevant behaviour.
+//!
+//! TLB miss rates are a function of the *page-level* reuse structure of an
+//! access stream. [`TraceProfile`] summarizes a stream: distinct pages per
+//! access window (the footprint curve), page-level spatial run lengths,
+//! and a coarse reuse histogram. The workload tests assert each model's
+//! profile against the character its benchmark is known for (e.g. `gups`
+//! touches ~1 distinct page per access; `omnetpp`'s hot set saturates the
+//! window curve early).
+
+use hytlb_types::PAGE_SIZE;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Summary statistics of a logical-address stream.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceProfile {
+    /// Accesses analysed.
+    pub accesses: u64,
+    /// Distinct 4 KB pages touched.
+    pub distinct_pages: u64,
+    /// Mean number of consecutive accesses to the same page (spatial
+    /// burst length).
+    pub mean_burst: f64,
+    /// Fraction of page *transitions* that move to the next page (+1) —
+    /// the sequentiality of the stream.
+    pub sequential_fraction: f64,
+    /// Fraction of accesses that hit one of the 64 most-recently-used
+    /// pages — an L1-TLB-reach locality proxy.
+    pub mru64_hit_fraction: f64,
+}
+
+impl TraceProfile {
+    /// Profiles the first `limit` accesses of a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream yields no accesses.
+    #[must_use]
+    pub fn measure<I: IntoIterator<Item = u64>>(stream: I, limit: usize) -> TraceProfile {
+        let mut accesses = 0u64;
+        let mut distinct: HashMap<u64, u64> = HashMap::new();
+        let mut bursts = 0u64;
+        let mut transitions = 0u64;
+        let mut sequential = 0u64;
+        let mut mru: Vec<u64> = Vec::with_capacity(64);
+        let mut mru_hits = 0u64;
+        let mut prev_page: Option<u64> = None;
+        for addr in stream.into_iter().take(limit) {
+            let page = addr / PAGE_SIZE as u64;
+            accesses += 1;
+            match distinct.entry(page) {
+                Entry::Occupied(mut e) => *e.get_mut() += 1,
+                Entry::Vacant(e) => {
+                    e.insert(1);
+                }
+            }
+            if let Some(p) = prev_page {
+                if p == page {
+                    // same burst, no transition
+                } else {
+                    transitions += 1;
+                    bursts += 1;
+                    if page == p + 1 {
+                        sequential += 1;
+                    }
+                }
+            } else {
+                bursts += 1;
+            }
+            // MRU-64 stack (exact, O(64)).
+            if let Some(pos) = mru.iter().position(|&p| p == page) {
+                mru_hits += 1;
+                mru.remove(pos);
+            } else if mru.len() == 64 {
+                mru.pop();
+            }
+            mru.insert(0, page);
+            prev_page = Some(page);
+        }
+        assert!(accesses > 0, "empty trace");
+        TraceProfile {
+            accesses,
+            distinct_pages: distinct.len() as u64,
+            mean_burst: accesses as f64 / bursts.max(1) as f64,
+            sequential_fraction: if transitions == 0 {
+                0.0
+            } else {
+                sequential as f64 / transitions as f64
+            },
+            mru64_hit_fraction: mru_hits as f64 / accesses as f64,
+        }
+    }
+
+    /// Pages touched per access — 1.0 means no page-level reuse at all.
+    #[must_use]
+    pub fn pages_per_access(&self) -> f64 {
+        self.distinct_pages as f64 / self.accesses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessPattern, TraceGenerator, WorkloadKind};
+
+    fn profile(w: WorkloadKind) -> TraceProfile {
+        TraceProfile::measure(w.generator(1 << 15, 7), 40_000)
+    }
+
+    #[test]
+    fn gups_has_no_reuse() {
+        let p = profile(WorkloadKind::Gups);
+        assert!(p.pages_per_access() > 0.5, "{p:?}");
+        assert!(p.mru64_hit_fraction < 0.05, "{p:?}");
+        assert!(p.sequential_fraction < 0.05, "{p:?}");
+    }
+
+    #[test]
+    fn omnetpp_hot_set_dominates() {
+        let p = profile(WorkloadKind::Omnetpp);
+        assert!(p.pages_per_access() < 0.2, "{p:?}");
+        assert!(p.mru64_hit_fraction > 0.05, "{p:?}");
+    }
+
+    #[test]
+    fn stream_workloads_are_more_sequential_than_random_ones() {
+        // milc interleaves 8 streams, so only ~1/8 of page transitions are
+        // +1 steps — still far above gups's ~0.
+        let p = profile(WorkloadKind::Milc);
+        let q = profile(WorkloadKind::Gups);
+        assert!(p.sequential_fraction > 0.08, "{p:?}");
+        assert!(p.sequential_fraction > 5.0 * q.sequential_fraction, "{p:?} vs {q:?}");
+        // A single stream is almost perfectly sequential.
+        let single = TraceProfile::measure(
+            TraceGenerator::new(AccessPattern::Streams { streams: 1 }, 1 << 12, 3, 1),
+            20_000,
+        );
+        assert!(single.sequential_fraction > 0.95, "{single:?}");
+    }
+
+    #[test]
+    fn graph500_mixes_modes() {
+        let p = profile(WorkloadKind::Graph500);
+        assert!(p.sequential_fraction > 0.2 && p.sequential_fraction < 0.8, "{p:?}");
+    }
+
+    #[test]
+    fn burst_parameter_shows_up_in_profile() {
+        let bursty = TraceProfile::measure(
+            TraceGenerator::new(AccessPattern::Uniform, 1 << 12, 3, 4),
+            20_000,
+        );
+        let single = TraceProfile::measure(
+            TraceGenerator::new(AccessPattern::Uniform, 1 << 12, 3, 1),
+            20_000,
+        );
+        assert!(bursty.mean_burst > 1.5 * single.mean_burst, "{bursty:?} vs {single:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_stream_panics() {
+        let _ = TraceProfile::measure(std::iter::empty(), 10);
+    }
+}

@@ -1,0 +1,108 @@
+//! Trace (de)serialization.
+//!
+//! Pre-generated traces can be captured to disk and replayed, mirroring the
+//! paper's Pin-capture-then-simulate workflow. The format is a small JSON
+//! header (for tooling) followed by raw little-endian `u64` addresses.
+
+use std::io::{self, Read, Write};
+
+/// Magic string identifying the trace format.
+const MAGIC: &[u8; 8] = b"HYTLBTR1";
+
+/// Header describing a stored trace.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+struct Header {
+    workload: String,
+    footprint_pages: u64,
+    accesses: u64,
+    seed: u64,
+}
+
+/// Writes a trace: `addresses` are logical byte addresses as produced by a
+/// [`crate::TraceGenerator`].
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`.
+pub fn write_trace<W: Write>(
+    mut writer: W,
+    workload: &str,
+    footprint_pages: u64,
+    seed: u64,
+    addresses: &[u64],
+) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    let header = Header {
+        workload: workload.to_owned(),
+        footprint_pages,
+        accesses: addresses.len() as u64,
+        seed,
+    };
+    let head = serde_json::to_vec(&header).map_err(io::Error::other)?;
+    writer.write_all(&(head.len() as u32).to_le_bytes())?;
+    writer.write_all(&head)?;
+    for a in addresses {
+        writer.write_all(&a.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`], returning
+/// `(workload, footprint_pages, seed, addresses)`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the magic or header is malformed, and
+/// propagates I/O errors from `reader`.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<(String, u64, u64, Vec<u64>)> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a hytlb trace"));
+    }
+    let mut len = [0u8; 4];
+    reader.read_exact(&mut len)?;
+    let mut head = vec![0u8; u32::from_le_bytes(len) as usize];
+    reader.read_exact(&mut head)?;
+    let header: Header = serde_json::from_slice(&head)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut addresses = Vec::with_capacity(header.accesses as usize);
+    let mut buf = [0u8; 8];
+    for _ in 0..header.accesses {
+        reader.read_exact(&mut buf)?;
+        addresses.push(u64::from_le_bytes(buf));
+    }
+    Ok((header.workload, header.footprint_pages, header.seed, addresses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadKind;
+
+    #[test]
+    fn roundtrip() {
+        let addrs: Vec<u64> = WorkloadKind::Gups.generator(256, 1).take(1000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, "gups", 256, 1, &addrs).unwrap();
+        let (w, fp, seed, back) = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(w, "gups");
+        assert_eq!(fp, 256);
+        assert_eq!(seed, 1);
+        assert_eq!(back, addrs);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_trace(&b"NOTATRACE___"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, "empty", 1, 0, &[]).unwrap();
+        let (_, _, _, back) = read_trace(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Composable access-pattern primitives.
+
+use hytlb_types::PAGE_SIZE;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The reuse/locality structure of a memory access stream.
+///
+/// Each variant captures one archetype observed across the paper's
+/// benchmark suite; [`crate::WorkloadKind`] instantiates them with
+/// per-benchmark parameters.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum AccessPattern {
+    /// Uniform random pages — `gups`-style giant updates.
+    Uniform,
+    /// A hot subset absorbs most accesses; the cold rest is uniform.
+    /// Models benchmarks with strong but imperfect locality (`canneal`,
+    /// `omnetpp`, `xalancbmk`).
+    HotCold {
+        /// Fraction of the footprint that is hot.
+        hot_fraction: f64,
+        /// Probability an access goes to the hot set.
+        hot_probability: f64,
+    },
+    /// `n` interleaved sequential streams (stencil/lattice sweeps:
+    /// `milc`, `GemsFDTD`, `cactusADM`, `sphinx3` feature extraction).
+    Streams {
+        /// Number of concurrent sequential streams.
+        streams: usize,
+    },
+    /// A random walk with heavy-tailed jumps (pointer chasing over trees
+    /// and graphs: `mcf`, `mummer`, `tigr`, `astar`).
+    Chase {
+        /// Scale of the jump distribution, in pages. Larger = less local.
+        jump_pages: u64,
+    },
+    /// Breadth-first-search-like: a sequential frontier scan interleaved
+    /// with uniform-random neighbour lookups (`graph500`).
+    Bfs {
+        /// Fraction of accesses that are random neighbour lookups.
+        random_fraction: f64,
+    },
+}
+
+/// A deterministic, infinite iterator of logical byte addresses in
+/// `[0, footprint_pages * 4096)`.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    pattern: AccessPattern,
+    footprint_pages: u64,
+    rng: SmallRng,
+    /// Cursors for stateful patterns (stream positions / walk position).
+    cursors: Vec<u64>,
+    /// Remaining accesses in the current within-page burst.
+    burst_left: u32,
+    /// Page of the current burst.
+    burst_page: u64,
+    /// Mean accesses issued per distinct page touch (spatial locality).
+    burst: u32,
+}
+
+impl TraceGenerator {
+    /// Creates a generator over `footprint_pages` pages.
+    ///
+    /// `burst` is the mean number of consecutive accesses within one page
+    /// before moving on — cache-line-level spatial locality that every real
+    /// program exhibits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint_pages` or `burst` is zero, or if a pattern
+    /// parameter is out of range (fractions must be in `[0, 1]`).
+    #[must_use]
+    pub fn new(pattern: AccessPattern, footprint_pages: u64, seed: u64, burst: u32) -> Self {
+        assert!(footprint_pages > 0, "footprint must be non-empty");
+        assert!(burst > 0, "burst must be at least 1");
+        match &pattern {
+            AccessPattern::HotCold { hot_fraction, hot_probability } => {
+                assert!((0.0..=1.0).contains(hot_fraction), "hot_fraction in [0,1]");
+                assert!((0.0..=1.0).contains(hot_probability), "hot_probability in [0,1]");
+            }
+            AccessPattern::Bfs { random_fraction } => {
+                assert!((0.0..=1.0).contains(random_fraction), "random_fraction in [0,1]");
+            }
+            AccessPattern::Streams { streams } => assert!(*streams > 0, "at least one stream"),
+            _ => {}
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7ace_5eed);
+        let cursors = match &pattern {
+            AccessPattern::Streams { streams } => {
+                // Spread stream starting points evenly over the footprint.
+                (0..*streams)
+                    .map(|i| i as u64 * footprint_pages / *streams as u64)
+                    .collect()
+            }
+            AccessPattern::Chase { .. } => vec![rng.gen_range(0..footprint_pages)],
+            AccessPattern::Bfs { .. } => vec![0],
+            _ => Vec::new(),
+        };
+        TraceGenerator {
+            pattern,
+            footprint_pages,
+            rng,
+            cursors,
+            burst_left: 0,
+            burst_page: 0,
+            burst: burst.max(1),
+        }
+    }
+
+    /// The footprint in pages.
+    #[must_use]
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint_pages
+    }
+
+    /// Picks the next distinct page to touch, per the pattern.
+    fn next_page(&mut self) -> u64 {
+        let n = self.footprint_pages;
+        match &self.pattern {
+            AccessPattern::Uniform => self.rng.gen_range(0..n),
+            AccessPattern::HotCold { hot_fraction, hot_probability } => {
+                let hot_pages = ((n as f64 * hot_fraction) as u64).max(1);
+                if self.rng.gen_bool(*hot_probability) {
+                    self.rng.gen_range(0..hot_pages)
+                } else {
+                    self.rng.gen_range(0..n)
+                }
+            }
+            AccessPattern::Streams { streams } => {
+                let s = self.rng.gen_range(0..*streams);
+                let page = self.cursors[s] % n;
+                self.cursors[s] = (self.cursors[s] + 1) % n;
+                page
+            }
+            AccessPattern::Chase { jump_pages } => {
+                // Heavy-tailed jump: log-magnitude ~ u² so most jumps are
+                // short pointer hops, with occasional cross-structure leaps
+                // up to `jump_pages`.
+                let u: f64 = self.rng.gen();
+                let mag = ((*jump_pages as f64).powf(u * u)).round() as u64;
+                let cur = self.cursors[0];
+                let next = if self.rng.gen_bool(0.5) {
+                    cur.wrapping_add(mag) % n
+                } else {
+                    cur.wrapping_add(n - mag % n) % n
+                };
+                self.cursors[0] = next;
+                next
+            }
+            AccessPattern::Bfs { random_fraction } => {
+                if self.rng.gen_bool(*random_fraction) {
+                    self.rng.gen_range(0..n)
+                } else {
+                    let page = self.cursors[0] % n;
+                    self.cursors[0] = (self.cursors[0] + 1) % n;
+                    page
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = u64;
+
+    /// Never returns `None`; take as many accesses as the experiment needs.
+    fn next(&mut self) -> Option<u64> {
+        if self.burst_left == 0 {
+            self.burst_page = self.next_page();
+            self.burst_left = self.rng.gen_range(1..=self.burst * 2 - 1).max(1);
+        }
+        self.burst_left -= 1;
+        let offset = self.rng.gen_range(0..PAGE_SIZE as u64);
+        Some(self.burst_page * PAGE_SIZE as u64 + offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn pages(pattern: AccessPattern, n: u64, take: usize) -> Vec<u64> {
+        TraceGenerator::new(pattern, n, 1, 2)
+            .take(take)
+            .map(|a| a / PAGE_SIZE as u64)
+            .collect()
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        for pattern in [
+            AccessPattern::Uniform,
+            AccessPattern::HotCold { hot_fraction: 0.1, hot_probability: 0.9 },
+            AccessPattern::Streams { streams: 4 },
+            AccessPattern::Chase { jump_pages: 1000 },
+            AccessPattern::Bfs { random_fraction: 0.5 },
+        ] {
+            let g = TraceGenerator::new(pattern.clone(), 500, 3, 3);
+            for a in g.take(10_000) {
+                assert!(a < 500 * PAGE_SIZE as u64, "{pattern:?} escaped: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<_> = TraceGenerator::new(AccessPattern::Uniform, 100, 9, 2).take(100).collect();
+        let b: Vec<_> = TraceGenerator::new(AccessPattern::Uniform, 100, 9, 2).take(100).collect();
+        let c: Vec<_> = TraceGenerator::new(AccessPattern::Uniform, 100, 10, 2).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_covers_footprint() {
+        let distinct: HashSet<_> = pages(AccessPattern::Uniform, 64, 10_000).into_iter().collect();
+        assert!(distinct.len() > 60);
+    }
+
+    #[test]
+    fn hot_cold_concentrates_accesses() {
+        let ps = pages(
+            AccessPattern::HotCold { hot_fraction: 0.1, hot_probability: 0.9 },
+            1000,
+            20_000,
+        );
+        let hot = ps.iter().filter(|&&p| p < 100).count();
+        assert!(hot as f64 > 0.85 * ps.len() as f64, "hot share {}", hot as f64 / ps.len() as f64);
+    }
+
+    #[test]
+    fn streams_are_locally_sequential() {
+        let ps = pages(AccessPattern::Streams { streams: 1 }, 1000, 64);
+        // One stream, dedup bursts: strictly ascending (mod wrap).
+        let dedup: Vec<_> = ps.windows(2).filter(|w| w[0] != w[1]).map(|w| w[1]).collect();
+        for w in dedup.windows(2) {
+            let delta = (w[1] + 1000 - w[0]) % 1000;
+            assert_eq!(delta, 1, "non-sequential step {w:?}");
+        }
+    }
+
+    #[test]
+    fn chase_mostly_makes_short_jumps() {
+        let ps = pages(AccessPattern::Chase { jump_pages: 10_000 }, 100_000, 20_000);
+        let mut short = 0;
+        let mut moves = 0;
+        for w in ps.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            moves += 1;
+            let d = w[0].abs_diff(w[1]);
+            if d.min(100_000 - d) <= 100 {
+                short += 1;
+            }
+        }
+        assert!(short as f64 > 0.5 * moves as f64, "{short}/{moves}");
+    }
+
+    #[test]
+    fn bfs_mixes_sequential_and_random() {
+        let ps = pages(AccessPattern::Bfs { random_fraction: 0.3 }, 10_000, 20_000);
+        let mut seq = 0;
+        let mut moves = 0;
+        for w in ps.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            moves += 1;
+            if w[1] == (w[0] + 1) % 10_000 {
+                seq += 1;
+            }
+        }
+        let frac = seq as f64 / moves as f64;
+        assert!(frac > 0.3 && frac < 0.9, "sequential fraction {frac}");
+    }
+
+    #[test]
+    fn burst_repeats_pages() {
+        let ps = pages(AccessPattern::Uniform, 10_000, 10_000);
+        let repeats = ps.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > 1000, "bursts missing: {repeats}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn invalid_fraction_panics() {
+        let _ = TraceGenerator::new(
+            AccessPattern::HotCold { hot_fraction: 1.5, hot_probability: 0.5 },
+            10,
+            0,
+            1,
+        );
+    }
+}

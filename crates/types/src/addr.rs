@@ -1,0 +1,251 @@
+//! Strongly-typed virtual/physical addresses and page/frame numbers.
+
+use crate::{PAGE_SHIFT, PAGE_SIZE};
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+macro_rules! addr_common {
+    ($ty:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(
+            Clone,
+            Copy,
+            PartialEq,
+            Eq,
+            Hash,
+            PartialOrd,
+            Ord,
+            Default,
+            serde::Serialize,
+            serde::Deserialize,
+        )]
+        pub struct $ty(u64);
+
+        impl $ty {
+            /// Wraps a raw 64-bit value.
+            #[must_use]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            #[must_use]
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Checked addition of a raw offset; `None` on overflow.
+            #[must_use]
+            pub fn checked_add(self, rhs: u64) -> Option<Self> {
+                self.0.checked_add(rhs).map(Self)
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($ty), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(v: $ty) -> u64 {
+                v.0
+            }
+        }
+
+        impl Add<u64> for $ty {
+            type Output = Self;
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $ty {
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<$ty> for $ty {
+            type Output = u64;
+            fn sub(self, rhs: $ty) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+    };
+}
+
+addr_common!(VirtAddr, "A byte address in a process virtual address space.");
+addr_common!(PhysAddr, "A byte address in physical memory.");
+addr_common!(
+    VirtPageNum,
+    "A virtual page number (virtual address divided by the 4 KB page size)."
+);
+addr_common!(
+    PhysFrameNum,
+    "A physical frame number (physical address divided by the 4 KB page size)."
+);
+
+impl VirtAddr {
+    /// Virtual page number containing this address.
+    #[must_use]
+    pub const fn page_number(self) -> VirtPageNum {
+        VirtPageNum::new(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset inside the containing 4 KB page.
+    #[must_use]
+    pub const fn page_offset(self) -> usize {
+        (self.0 as usize) & (PAGE_SIZE - 1)
+    }
+}
+
+impl PhysAddr {
+    /// Physical frame number containing this address.
+    #[must_use]
+    pub const fn frame_number(self) -> PhysFrameNum {
+        PhysFrameNum::new(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset inside the containing 4 KB frame.
+    #[must_use]
+    pub const fn page_offset(self) -> usize {
+        (self.0 as usize) & (PAGE_SIZE - 1)
+    }
+}
+
+impl VirtPageNum {
+    /// First byte address of the page.
+    #[must_use]
+    pub const fn base_addr(self) -> VirtAddr {
+        VirtAddr::new(self.0 << PAGE_SHIFT)
+    }
+
+    /// Aligns this VPN down to a multiple of `alignment` pages.
+    ///
+    /// Used to locate the anchor VPN: `vpn.align_down(anchor_distance)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` is not a power of two.
+    #[must_use]
+    pub fn align_down(self, alignment: u64) -> Self {
+        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        Self(self.0 & !(alignment - 1))
+    }
+
+    /// `true` when this VPN is a multiple of `alignment` pages.
+    #[must_use]
+    pub fn is_aligned(self, alignment: u64) -> bool {
+        self.align_down(alignment) == self
+    }
+}
+
+impl PhysFrameNum {
+    /// First byte address of the frame.
+    #[must_use]
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr::new(self.0 << PAGE_SHIFT)
+    }
+
+    /// Aligns this PFN down to a multiple of `alignment` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` is not a power of two.
+    #[must_use]
+    pub fn align_down(self, alignment: u64) -> Self {
+        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        Self(self.0 & !(alignment - 1))
+    }
+
+    /// `true` when this PFN is a multiple of `alignment` frames.
+    #[must_use]
+    pub fn is_aligned(self, alignment: u64) -> bool {
+        self.align_down(alignment) == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn va_splits_into_vpn_and_offset() {
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(va.page_number(), VirtPageNum::new(0x12345));
+        assert_eq!(va.page_offset(), 0x678);
+        assert_eq!(
+            va.page_number().base_addr().as_u64() + va.page_offset() as u64,
+            va.as_u64()
+        );
+    }
+
+    #[test]
+    fn pa_splits_into_pfn_and_offset() {
+        let pa = PhysAddr::new(0xdead_beef);
+        assert_eq!(pa.frame_number(), PhysFrameNum::new(0xdeadb));
+        assert_eq!(pa.page_offset(), 0xeef);
+    }
+
+    #[test]
+    fn vpn_alignment() {
+        let vpn = VirtPageNum::new(0x1235);
+        assert_eq!(vpn.align_down(16), VirtPageNum::new(0x1230));
+        assert!(!vpn.is_aligned(16));
+        assert!(VirtPageNum::new(0x1230).is_aligned(16));
+        assert_eq!(vpn.align_down(1), vpn);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn vpn_alignment_requires_power_of_two() {
+        let _ = VirtPageNum::new(7).align_down(3);
+    }
+
+    #[test]
+    fn arithmetic_and_conversions() {
+        let a = VirtPageNum::new(10);
+        let b = a + 5;
+        assert_eq!(b - a, 5);
+        let mut c = a;
+        c += 2;
+        assert_eq!(c, VirtPageNum::new(12));
+        assert_eq!(u64::from(b), 15);
+        assert_eq!(VirtPageNum::from(15u64), b);
+        assert_eq!(VirtPageNum::new(u64::MAX).checked_add(1), None);
+    }
+
+    #[test]
+    fn debug_and_hex_formatting() {
+        let vpn = VirtPageNum::new(0xff);
+        assert_eq!(format!("{vpn:?}"), "VirtPageNum(0xff)");
+        assert_eq!(format!("{vpn:x}"), "ff");
+        assert_eq!(format!("{vpn:X}"), "FF");
+        assert_eq!(vpn.to_string(), "0xff");
+    }
+}

@@ -1,0 +1,60 @@
+//! Capture-then-replay workflow, mirroring the paper's Pin methodology:
+//! generate a workload trace once, store it, and replay the identical
+//! trace against several mapping scenarios.
+//!
+//! ```sh
+//! cargo run --release --example trace_capture
+//! ```
+
+use hytlb::prelude::*;
+use hytlb::trace::{read_trace, write_trace, WorkloadKind};
+
+fn main() -> std::io::Result<()> {
+    let workload = WorkloadKind::Mcf;
+    let footprint = 32 * 1024;
+    let seed = 7;
+
+    // 1. "Pin capture": materialize the access trace once.
+    let addresses: Vec<u64> = workload.generator(footprint, seed).take(200_000).collect();
+    let path = std::env::temp_dir().join("hytlb_mcf.trace");
+    write_trace(
+        std::fs::File::create(&path)?,
+        workload.label(),
+        footprint,
+        seed,
+        &addresses,
+    )?;
+    println!(
+        "captured {} accesses of {} to {}",
+        addresses.len(),
+        workload,
+        path.display()
+    );
+
+    // 2. Replay the stored trace against three different mappings.
+    let (name, fp, _, replay) = read_trace(std::fs::File::open(&path)?)?;
+    assert_eq!(fp, footprint);
+    let config = PaperConfig::default();
+    println!("\nreplaying {name}:");
+    println!("{:<10} {:>12} {:>12}", "scenario", "base walks", "anchor walks");
+    for scenario in [
+        Scenario::LowContiguity,
+        Scenario::MediumContiguity,
+        Scenario::MaxContiguity,
+    ] {
+        let map = scenario.generate(footprint, 3);
+        let base =
+            Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(replay.iter().copied());
+        let anchor =
+            Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(replay.iter().copied());
+        println!(
+            "{:<10} {:>12} {:>12}   (d = {})",
+            scenario.label(),
+            base.tlb_misses(),
+            anchor.tlb_misses(),
+            anchor.anchor_distance.expect("anchor distance")
+        );
+    }
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's architectural invariants.
+
+use hytlb::core::{AnchorConfig, AnchorScheme, DistanceSelector};
+use hytlb::mem::{AddressSpaceMap, BuddyAllocator, ContiguityHistogram, Scenario};
+use hytlb::pagetable::{AnchoredPageTable, PageTable};
+use hytlb::schemes::TranslationScheme;
+use hytlb::types::{Permissions, PhysFrameNum, VirtPageNum};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Strategy: a random valid address-space map as disjoint, non-mergeable
+/// chunks.
+fn arb_map() -> impl Strategy<Value = AddressSpaceMap> {
+    proptest::collection::vec((0u64..2000, 1u64..64), 1..40).prop_map(|specs| {
+        let mut map = AddressSpaceMap::new();
+        let mut vpn = 0u64;
+        let mut pfn = 1u64 << 20;
+        for (gap, len) in specs {
+            vpn += gap + 1;
+            map.map_range(
+                VirtPageNum::new(vpn),
+                PhysFrameNum::new(pfn),
+                len,
+                Permissions::READ_WRITE,
+            );
+            vpn += len;
+            pfn += len + 3;
+        }
+        map
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The histogram always accounts for exactly the mapped pages.
+    #[test]
+    fn histogram_conserves_pages(map in arb_map()) {
+        let hist = ContiguityHistogram::from_map(&map);
+        prop_assert_eq!(hist.total_pages(), map.mapped_pages());
+        prop_assert_eq!(hist.total_chunks() as usize, map.chunk_count());
+    }
+
+    /// nth_page enumerates exactly iter_pages, in order.
+    #[test]
+    fn page_index_matches_iteration(map in arb_map()) {
+        let idx = map.page_index();
+        prop_assert_eq!(idx.len(), map.mapped_pages());
+        for (i, (vpn, _)) in map.iter_pages().enumerate() {
+            prop_assert_eq!(idx.nth_page(i as u64), vpn);
+        }
+    }
+
+    /// Unmapping what was mapped restores the empty map, regardless of
+    /// split order.
+    #[test]
+    fn unmap_everything_empties(map in arb_map(), split in 1u64..97) {
+        let mut m = map.clone();
+        let chunks: Vec<_> = map.chunks().copied().collect();
+        for c in &chunks {
+            // Unmap in two arbitrary pieces.
+            let cut = (split % c.len).max(1).min(c.len);
+            m.unmap_range(c.vpn, cut);
+            if cut < c.len {
+                m.unmap_range(c.vpn + cut, c.len - cut);
+            }
+        }
+        prop_assert_eq!(m.mapped_pages(), 0);
+        prop_assert_eq!(m.chunk_count(), 0);
+    }
+
+    /// Anchor probes never mistranslate, for any distance.
+    #[test]
+    fn anchor_probe_matches_map(map in arb_map(), dlog in 1u32..17) {
+        let d = 1u64 << dlog;
+        let mut apt = AnchoredPageTable::new(PageTable::from_map(&map, false), d);
+        apt.reanchor(&map, d);
+        for (vpn, pfn) in map.iter_pages() {
+            if let Some(p) = apt.anchor_probe(vpn) {
+                if p.covers(vpn) {
+                    prop_assert_eq!(p.translate(vpn), pfn);
+                }
+            }
+        }
+    }
+
+    /// Every page of every chunk whose anchor page is mapped and within
+    /// the same chunk is covered by its anchor (the coverage guarantee the
+    /// OS maintains).
+    #[test]
+    fn anchor_coverage_is_complete(map in arb_map(), dlog in 1u32..9) {
+        let d = 1u64 << dlog;
+        let mut apt = AnchoredPageTable::new(PageTable::from_map(&map, false), d);
+        apt.reanchor(&map, d);
+        for chunk in map.chunks() {
+            for off in 0..chunk.len {
+                let vpn = chunk.vpn + off;
+                let avpn = vpn.align_down(d);
+                // If the anchor lies inside the same chunk, it must cover.
+                if avpn >= chunk.vpn {
+                    let p = apt.anchor_probe(vpn);
+                    prop_assert!(p.is_some(), "anchor missing at {avpn}");
+                    prop_assert!(p.unwrap().covers(vpn), "anchor at {avpn} must cover {vpn}");
+                }
+            }
+        }
+    }
+
+    /// The anchor scheme translates correctly on arbitrary maps and
+    /// distances (the hardware path, not just the page-table probe).
+    #[test]
+    fn anchor_scheme_translates_arbitrary_maps(map in arb_map(), dlog in 1u32..17) {
+        let d = 1u64 << dlog;
+        let mut s = AnchorScheme::new(Arc::new(map.clone()), AnchorConfig::static_distance(d));
+        for (vpn, pfn) in map.iter_pages() {
+            prop_assert_eq!(s.access(vpn.base_addr()).pfn, Some(pfn));
+        }
+    }
+
+    /// Algorithm 1 always returns a candidate, and that candidate is
+    /// cost-minimal over the candidate set.
+    #[test]
+    fn selector_returns_cost_minimal_candidate(map in arb_map()) {
+        let hist = ContiguityHistogram::from_map(&map);
+        let sel = DistanceSelector::paper_default();
+        let d = sel.select(&hist);
+        prop_assert!(sel.candidates().contains(&d));
+        let cost = sel.cost(d, &hist);
+        for &c in sel.candidates() {
+            prop_assert!(cost <= sel.cost(c, &hist) + 1e-9);
+        }
+    }
+
+    /// Buddy allocator: random alloc/free interleavings conserve frames
+    /// and never hand out overlapping blocks.
+    #[test]
+    fn buddy_conserves_and_never_overlaps(ops in proptest::collection::vec((0u32..4, any::<u16>()), 1..200)) {
+        let total = 1u64 << 12;
+        let mut buddy = BuddyAllocator::new(total);
+        let mut live: HashMap<u64, u32> = HashMap::new();
+        for (order, pick) in ops {
+            if u64::from(pick) % 3 == 0 && !live.is_empty() {
+                let key = *live.keys().nth(usize::from(pick) % live.len()).unwrap();
+                let o = live.remove(&key).unwrap();
+                buddy.free(PhysFrameNum::new(key), o).unwrap();
+            } else if let Ok(base) = buddy.allocate(order) {
+                // No overlap with any live block.
+                let b0 = base.as_u64();
+                let b1 = b0 + (1 << order);
+                prop_assert!(b1 <= total);
+                for (&l0, &lo) in &live {
+                    let l1 = l0 + (1u64 << lo);
+                    prop_assert!(b1 <= l0 || l1 <= b0, "overlap {b0}..{b1} vs {l0}..{l1}");
+                }
+                live.insert(b0, order);
+            }
+            let live_frames: u64 = live.values().map(|&o| 1u64 << o).sum();
+            prop_assert_eq!(buddy.free_frames(), total - live_frames);
+        }
+    }
+
+    /// Scenario generation: exact footprint, deterministic, and within the
+    /// declared chunk-size bounds.
+    #[test]
+    fn scenarios_meet_their_contract(seed in 0u64..1000, fp_log in 11u32..15) {
+        let fp = 1u64 << fp_log;
+        for scenario in Scenario::all() {
+            let m = scenario.generate(fp, seed);
+            prop_assert_eq!(m.mapped_pages(), fp, "{}", scenario);
+            prop_assert_eq!(m, scenario.generate(fp, seed));
+        }
+        if let Some((_, hi)) = Scenario::LowContiguity.synthetic_range() {
+            let m = Scenario::LowContiguity.generate(fp, seed);
+            let h = ContiguityHistogram::from_map(&m);
+            prop_assert!(h.max_contiguity() <= hi);
+        }
+    }
+}
