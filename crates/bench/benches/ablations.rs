@@ -18,18 +18,20 @@ fn config() -> PaperConfig {
 fn indexing(c: &mut Criterion) {
     let config = config();
     let footprint = config.footprint_for(WorkloadKind::Milc);
-    let map = Scenario::HighContiguity.generate(footprint, config.seed);
+    let map = Arc::new(Scenario::HighContiguity.generate(footprint, config.seed));
     let trace: Vec<u64> = WorkloadKind::Milc
         .generator(footprint, config.seed)
         .take(config.accesses as usize)
         .collect();
     let mut group = c.benchmark_group("ablation_indexing");
     group.sample_size(10);
-    for (label, indexing) in [("fig6", AnchorIndexing::Fig6), ("naive", AnchorIndexing::NaiveLowBits)] {
+    for (label, indexing) in
+        [("fig6", AnchorIndexing::Fig6), ("naive", AnchorIndexing::NaiveLowBits)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(label), &indexing, |b, &indexing| {
             b.iter(|| {
                 let cfg = AnchorConfig { indexing, ..AnchorConfig::dynamic() };
-                let scheme = AnchorScheme::new(Arc::new(map.clone()), cfg);
+                let scheme = AnchorScheme::new(Arc::clone(&map), cfg);
                 Machine::from_scheme(Box::new(scheme), &map, &config)
                     .run(trace.iter().copied())
                     .tlb_misses()
@@ -43,18 +45,20 @@ fn indexing(c: &mut Criterion) {
 fn fill_policy(c: &mut Criterion) {
     let config = config();
     let footprint = config.footprint_for(WorkloadKind::Canneal);
-    let map = Scenario::MediumContiguity.generate(footprint, config.seed);
+    let map = Arc::new(Scenario::MediumContiguity.generate(footprint, config.seed));
     let trace: Vec<u64> = WorkloadKind::Canneal
         .generator(footprint, config.seed)
         .take(config.accesses as usize)
         .collect();
     let mut group = c.benchmark_group("ablation_fill_policy");
     group.sample_size(10);
-    for (label, fill) in [("prefer_anchor", FillPolicy::PreferAnchor), ("always_regular", FillPolicy::AlwaysRegular)] {
+    for (label, fill) in
+        [("prefer_anchor", FillPolicy::PreferAnchor), ("always_regular", FillPolicy::AlwaysRegular)]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(label), &fill, |b, &fill| {
             b.iter(|| {
                 let cfg = AnchorConfig { fill, ..AnchorConfig::dynamic() };
-                let scheme = AnchorScheme::new(Arc::new(map.clone()), cfg);
+                let scheme = AnchorScheme::new(Arc::clone(&map), cfg);
                 Machine::from_scheme(Box::new(scheme), &map, &config)
                     .run(trace.iter().copied())
                     .tlb_misses()

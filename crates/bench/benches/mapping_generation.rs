@@ -27,7 +27,11 @@ fn fig1_pipeline(c: &mut Criterion) {
             let mut buddy = BuddyAllocator::new(1 << 16);
             let mut frag = Fragmenter::new(5);
             frag.shatter(&mut buddy, FragmentationLevel::Moderate);
-            let map = Scenario::DemandPaging.generate_with_pressure(1 << 14, 5, FragmentationLevel::Moderate);
+            let map = Scenario::DemandPaging.generate_with_pressure(
+                1 << 14,
+                5,
+                FragmentationLevel::Moderate,
+            );
             ContiguityHistogram::from_map(&map).page_weighted_cdf().len()
         });
     });

@@ -17,7 +17,7 @@ fn scheme_throughput(c: &mut Criterion) {
     for scenario in [Scenario::DemandPaging, Scenario::MediumContiguity] {
         let mut group = c.benchmark_group(format!("fig7_8_translate_{scenario}"));
         let footprint = config.footprint_for(WorkloadKind::Canneal);
-        let map = scenario.generate(footprint, config.seed);
+        let map = std::sync::Arc::new(scenario.generate(footprint, config.seed));
         let trace: Vec<u64> = WorkloadKind::Canneal
             .generator(footprint, config.seed)
             .take(config.accesses as usize)
@@ -47,7 +47,7 @@ fn scenario_sweep(c: &mut Criterion) {
             &scenario,
             |b, &scenario| {
                 let footprint = config.footprint_for(WorkloadKind::Milc);
-                let map = scenario.generate(footprint, config.seed);
+                let map = std::sync::Arc::new(scenario.generate(footprint, config.seed));
                 let trace: Vec<u64> = WorkloadKind::Milc
                     .generator(footprint, config.seed)
                     .take(config.accesses as usize)

@@ -17,8 +17,13 @@ use hytlb_trace::WorkloadKind;
 use hytlb_types::{Permissions, PhysFrameNum, VirtPageNum};
 use std::sync::Arc;
 
-fn run_anchor(map: &AddressSpaceMap, cfg: AnchorConfig, trace: &[u64], config: &PaperConfig) -> RunStats {
-    let scheme = AnchorScheme::new(Arc::new(map.clone()), cfg);
+fn run_anchor(
+    map: &Arc<AddressSpaceMap>,
+    cfg: AnchorConfig,
+    trace: &[u64],
+    config: &PaperConfig,
+) -> RunStats {
+    let scheme = AnchorScheme::new(Arc::clone(map), cfg);
     Machine::from_scheme(Box::new(scheme), map, config).run(trace.iter().copied())
 }
 
@@ -36,11 +41,17 @@ fn main() {
         let map = mapping_for(WorkloadKind::Canneal, Scenario::MediumContiguity, &config);
         let trace = trace_for(WorkloadKind::Canneal, &config);
         let mut rows = Vec::new();
-        for (label, indexing) in [("Fig6 [d, d+N)", AnchorIndexing::Fig6), ("naive low bits", AnchorIndexing::NaiveLowBits)] {
+        for (label, indexing) in [
+            ("Fig6 [d, d+N)", AnchorIndexing::Fig6),
+            ("naive low bits", AnchorIndexing::NaiveLowBits),
+        ] {
             let cfg = AnchorConfig { indexing, ..AnchorConfig::static_distance(32) };
             let run = run_anchor(&map, cfg, &trace, &config);
             json.push(serde_json::json!({"ablation": "indexing", "variant": label, "walks": run.tlb_misses()}));
-            rows.push((label.to_owned(), vec![run.tlb_misses().to_string(), format!("{:.3}", run.translation_cpi())]));
+            rows.push((
+                label.to_owned(),
+                vec![run.tlb_misses().to_string(), format!("{:.3}", run.translation_cpi())],
+            ));
         }
         text.push_str(&render_table(
             "1. anchor indexing (canneal, medium contig, d=32)",
@@ -55,11 +66,17 @@ fn main() {
         let map = mapping_for(WorkloadKind::Canneal, Scenario::MediumContiguity, &config);
         let trace = trace_for(WorkloadKind::Canneal, &config);
         let mut rows = Vec::new();
-        for (label, fill) in [("prefer anchor (paper)", FillPolicy::PreferAnchor), ("always regular", FillPolicy::AlwaysRegular)] {
+        for (label, fill) in [
+            ("prefer anchor (paper)", FillPolicy::PreferAnchor),
+            ("always regular", FillPolicy::AlwaysRegular),
+        ] {
             let cfg = AnchorConfig { fill, ..AnchorConfig::dynamic() };
             let run = run_anchor(&map, cfg, &trace, &config);
             json.push(serde_json::json!({"ablation": "fill", "variant": label, "walks": run.tlb_misses()}));
-            rows.push((label.to_owned(), vec![run.tlb_misses().to_string(), run.stats.coalesced_hits.to_string()]));
+            rows.push((
+                label.to_owned(),
+                vec![run.tlb_misses().to_string(), run.stats.coalesced_hits.to_string()],
+            ));
         }
         text.push_str(&render_table(
             "2. fill policy (canneal, medium contig)",
@@ -82,12 +99,19 @@ fn main() {
             ("Algorithm 1 literal", CostModel::InverseCoverage),
             ("flat entry count", CostModel::FlatCount),
         ] {
-            let selector = hytlb_core::DistanceSelector::new((1..=16).map(|s| 1u64 << s).collect(), cost_model, 0.1);
+            let selector = hytlb_core::DistanceSelector::new(
+                (1..=16).map(|s| 1u64 << s).collect(),
+                cost_model,
+                0.1,
+            );
             let d = selector.select(&hist);
             let cfg = AnchorConfig { cost_model, ..AnchorConfig::dynamic() };
             let run = run_anchor(&map, cfg, &trace, &config);
             json.push(serde_json::json!({"ablation": "cost_model", "variant": label, "distance": d, "walks": run.tlb_misses()}));
-            rows.push((label.to_owned(), vec![hytlb_sim::report::format_distance(d), run.tlb_misses().to_string()]));
+            rows.push((
+                label.to_owned(),
+                vec![hytlb_sim::report::format_distance(d), run.tlb_misses().to_string()],
+            ));
         }
         text.push_str(&render_table(
             "3. selector cost model (canneal, demand)",
@@ -107,22 +131,42 @@ fn main() {
         let mut placed = 0u64;
         while placed < arena_pages {
             let len = 2 + (placed % 7); // 2..8-page chunks
-            map.map_range(VirtPageNum::new(vpn), PhysFrameNum::new(pfn), len, Permissions::READ_WRITE);
+            map.map_range(
+                VirtPageNum::new(vpn),
+                PhysFrameNum::new(pfn),
+                len,
+                Permissions::READ_WRITE,
+            );
             vpn += len;
             pfn += len + 3;
             placed += len;
         }
         let heap_base = 1u64 << 24;
         let heap_pages = 1u64 << 16;
-        map.map_range(VirtPageNum::new(heap_base), PhysFrameNum::new(1 << 25), heap_pages, Permissions::READ_WRITE);
+        map.map_range(
+            VirtPageNum::new(heap_base),
+            PhysFrameNum::new(1 << 25),
+            heap_pages,
+            Permissions::READ_WRITE,
+        );
+        let map = Arc::new(map);
         let footprint = map.mapped_pages();
-        let trace: Vec<u64> = WorkloadKind::Canneal.generator(footprint, config.seed).take(config.accesses as usize).collect();
+        let trace: Vec<u64> = WorkloadKind::Canneal
+            .generator(footprint, config.seed)
+            .take(config.accesses as usize)
+            .collect();
         let mut rows = Vec::new();
-        for (label, mode) in [("single distance", DistanceMode::Dynamic), ("regions (<=8)", DistanceMode::MultiRegion(8))] {
+        for (label, mode) in [
+            ("single distance", DistanceMode::Dynamic),
+            ("regions (<=8)", DistanceMode::MultiRegion(8)),
+        ] {
             let cfg = AnchorConfig { mode, ..AnchorConfig::dynamic() };
             let run = run_anchor(&map, cfg, &trace, &config);
             json.push(serde_json::json!({"ablation": "regions", "variant": label, "walks": run.tlb_misses()}));
-            rows.push((label.to_owned(), vec![run.tlb_misses().to_string(), run.stats.coalesced_hits.to_string()]));
+            rows.push((
+                label.to_owned(),
+                vec![run.tlb_misses().to_string(), run.stats.coalesced_hits.to_string()],
+            ));
         }
         text.push_str(&render_table(
             "4. multi-region anchors (bimodal mapping)",

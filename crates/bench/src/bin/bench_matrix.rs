@@ -1,0 +1,87 @@
+//! Wall-clock benchmark of the parallel matrix driver against the serial
+//! reference, with a bit-identity check over every cell.
+//!
+//! Runs the Figure 9 evaluation matrix (all scenarios × all workloads ×
+//! the six paper schemes) twice — once through
+//! [`run_suite_serial`](hytlb_sim::experiment::run_suite_serial) and once
+//! through [`run_matrix`](hytlb_sim::run_matrix) — and emits
+//! `results/BENCH_matrix.json` with both timings, the speedup, and the
+//! cache's exactly-once build counters.
+//!
+//! ```sh
+//! cargo run --release --bin bench_matrix -- --quick
+//! HYTLB_THREADS=4 cargo run --release --bin bench_matrix
+//! ```
+
+use hytlb_bench::{banner, config_from_args, emit};
+use hytlb_mem::Scenario;
+use hytlb_sim::experiment::{run_suite_serial, SuiteResult};
+use hytlb_sim::matrix::{run_matrix_with, worker_count, MatrixCache};
+use hytlb_sim::SchemeKind;
+use hytlb_trace::WorkloadKind;
+use std::time::Instant;
+
+fn main() {
+    let config = config_from_args();
+    banner("BENCH: parallel matrix driver vs serial reference", &config);
+
+    let scenarios = Scenario::all();
+    let workloads = WorkloadKind::all();
+    let kinds = SchemeKind::paper_set();
+    let cells = scenarios.len() * workloads.len() * kinds.len();
+    let threads = worker_count(&config);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    eprintln!("running {cells} cells serially ...");
+    let serial_start = Instant::now();
+    let serial: Vec<SuiteResult> =
+        scenarios.iter().map(|&s| run_suite_serial(s, &workloads, &kinds, &config)).collect();
+    let serial_s = serial_start.elapsed().as_secs_f64();
+
+    eprintln!("running {cells} cells on {threads} worker threads ...");
+    let cache = MatrixCache::new();
+    let parallel_start = Instant::now();
+    let parallel = run_matrix_with(&cache, &scenarios, &workloads, &kinds, &config);
+    let parallel_s = parallel_start.elapsed().as_secs_f64();
+
+    assert_eq!(parallel, serial, "parallel matrix must be bit-identical to the serial reference");
+    let cache_stats = cache.stats();
+    assert_eq!(
+        cache_stats.mapping_builds,
+        scenarios.len() * workloads.len(),
+        "one mapping per (workload, scenario)"
+    );
+    assert_eq!(cache_stats.trace_builds, workloads.len(), "one trace per workload");
+
+    let speedup = serial_s / parallel_s.max(1e-9);
+    let text = format!(
+        "cells: {cells} ({} scenarios x {} workloads x {} schemes)\n\
+         worker threads: {threads} (of {cores} available cores)\n\
+         serial:   {serial_s:.2} s\n\
+         parallel: {parallel_s:.2} s\n\
+         speedup:  {speedup:.2}x\n\
+         bit-identical to serial: yes\n\
+         mappings generated: {} (exactly one per workload x scenario)\n\
+         traces generated:   {} (exactly one per workload)\n",
+        scenarios.len(),
+        workloads.len(),
+        kinds.len(),
+        cache_stats.mapping_builds,
+        cache_stats.trace_builds,
+    );
+    let json = serde_json::json!({
+        "cells": cells,
+        "scenarios": scenarios.len(),
+        "workloads": workloads.len(),
+        "schemes": kinds.len(),
+        "threads": threads,
+        "available_cores": cores,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": speedup,
+        "bit_identical": true,
+        "mapping_builds": cache_stats.mapping_builds,
+        "trace_builds": cache_stats.trace_builds,
+    });
+    emit("BENCH_matrix", &text, &serde_json::to_string_pretty(&json).expect("serializable"));
+}

@@ -10,9 +10,8 @@
 
 use hytlb_bench::{banner, config_from_args, emit};
 use hytlb_mem::Scenario;
-use hytlb_sim::experiment::{mapping_for, trace_for};
 use hytlb_sim::report::render_table;
-use hytlb_sim::{Machine, SchemeKind};
+use hytlb_sim::{run_matrix, SchemeKind};
 use hytlb_trace::WorkloadKind;
 
 fn main() {
@@ -24,32 +23,34 @@ fn main() {
     banner("Extension: 1 GB pages and the limits of fixed sizes (§2.1)", &config);
 
     let workload = WorkloadKind::Gups; // the giant-footprint stress case
+                                       // Column 0 (Base) is the reference the others are reported against.
     let kinds = [
+        SchemeKind::Baseline,
         SchemeKind::Thp,
         SchemeKind::Thp1G,
         SchemeKind::Rmm,
         SchemeKind::AnchorDynamic,
     ];
-    let cols: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+    let cols: Vec<String> = kinds[1..].iter().map(|k| k.label()).collect();
+    let scenarios = [Scenario::MaxContiguity, Scenario::HighContiguity, Scenario::MediumContiguity];
+    let suites = run_matrix(&scenarios, &[workload], &kinds, &config);
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for scenario in [Scenario::MaxContiguity, Scenario::HighContiguity, Scenario::MediumContiguity] {
-        let map = mapping_for(workload, scenario, &config);
-        let trace = trace_for(workload, &config);
-        let base = Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(trace.iter().copied());
-        let cells: Vec<String> = kinds
+    for suite in &suites {
+        let row = &suite.rows[0];
+        let base = &row.runs[0];
+        let cells: Vec<String> = row.runs[1..]
             .iter()
-            .map(|&kind| {
-                let run = Machine::for_scheme(kind, &map, &config).run(trace.iter().copied());
+            .map(|run| {
                 json.push(serde_json::json!({
-                    "scenario": scenario.label(),
-                    "scheme": run.scheme,
-                    "relative_misses_pct": run.relative_misses_pct(&base),
+                    "scenario": suite.scenario.label(),
+                    "scheme": &run.scheme,
+                    "relative_misses_pct": run.relative_misses_pct(base),
                 }));
-                format!("{:.1}", run.relative_misses_pct(&base))
+                format!("{:.1}", run.relative_misses_pct(base))
             })
             .collect();
-        rows.push((scenario.label().to_owned(), cells));
+        rows.push((suite.scenario.label().to_owned(), cells));
     }
     let text = format!(
         "{}\nRelative misses (%) for gups. 1 GB pages only engage when the mapping\n\
@@ -59,9 +60,5 @@ fn main() {
          eventually limited\".\n",
         render_table("scenario", &cols, &rows)
     );
-    emit(
-        "ext_1gb_pages",
-        &text,
-        &serde_json::to_string_pretty(&json).expect("serializable"),
-    );
+    emit("ext_1gb_pages", &text, &serde_json::to_string_pretty(&json).expect("serializable"));
 }

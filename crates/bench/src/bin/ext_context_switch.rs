@@ -30,11 +30,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for period in periods {
-        let label = if period == u64::MAX {
-            "no switches".to_owned()
-        } else {
-            format!("every {period}")
-        };
+        let label =
+            if period == u64::MAX { "no switches".to_owned() } else { format!("every {period}") };
         let cells: Vec<String> = kinds
             .iter()
             .map(|&k| {
@@ -59,9 +56,5 @@ fn main() {
          tolerable.\n",
         render_table("flush period", &cols, &rows)
     );
-    emit(
-        "ext_context_switch",
-        &text,
-        &serde_json::to_string_pretty(&json).expect("serializable"),
-    );
+    emit("ext_context_switch", &text, &serde_json::to_string_pretty(&json).expect("serializable"));
 }

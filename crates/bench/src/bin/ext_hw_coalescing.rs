@@ -29,14 +29,12 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for scenario in [
-        Scenario::LowContiguity,
-        Scenario::MediumContiguity,
-        Scenario::HighContiguity,
-    ] {
+    for scenario in [Scenario::LowContiguity, Scenario::MediumContiguity, Scenario::HighContiguity]
+    {
         let map = mapping_for(workload, scenario, &config);
         let trace = trace_for(workload, &config);
-        let base = Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(trace.iter().copied());
+        let base =
+            Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(trace.iter().copied());
         let latency = LatencyModel::default();
         let arc = Arc::new(map.clone());
         let schemes: Vec<Box<dyn TranslationScheme>> = vec![
@@ -66,9 +64,5 @@ fn main() {
          — the §2.1 scalability/flexibility argument, quantified.\n",
         render_table("scenario", &cols, &rows)
     );
-    emit(
-        "ext_hw_coalescing",
-        &text,
-        &serde_json::to_string_pretty(&json).expect("serializable"),
-    );
+    emit("ext_hw_coalescing", &text, &serde_json::to_string_pretty(&json).expect("serializable"));
 }

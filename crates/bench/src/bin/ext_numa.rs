@@ -41,7 +41,7 @@ fn main() {
     for (label, policy) in policies {
         let mut numa = NumaTopology::new(4, footprint * 2);
         numa.shatter_all(FragmentationLevel::Light, config.seed);
-        let map = numa.allocate_map(footprint, policy).expect("capacity");
+        let map = std::sync::Arc::new(numa.allocate_map(footprint, policy).expect("capacity"));
         let hist = ContiguityHistogram::from_map(&map);
         let mut cells = vec![format!("{:.0}", hist.mean_contiguity())];
         let mut distance = None;
@@ -56,11 +56,11 @@ fn main() {
             }));
             cells.push(run.tlb_misses().to_string());
         }
-        cells.push(
-            run_distance_label(Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config)
+        cells.push(run_distance_label(
+            Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config)
                 .run(trace.iter().copied())
-                .anchor_distance),
-        );
+                .anchor_distance,
+        ));
         let _ = distance;
         rows.push((label.to_owned(), cells));
     }
@@ -71,11 +71,7 @@ fn main() {
          with its distance — the §2.2 case for allocation-flexible coalescing.\n",
         render_table("NUMA policy", &cols, &rows)
     );
-    emit(
-        "ext_numa",
-        &text,
-        &serde_json::to_string_pretty(&json).expect("serializable"),
-    );
+    emit("ext_numa", &text, &serde_json::to_string_pretty(&json).expect("serializable"));
 }
 
 fn run_distance_label(d: Option<u64>) -> String {

@@ -18,11 +18,8 @@ fn main() {
     let config = config_from_args();
     banner("Extension: MMU-cache walk latency vs the fixed 50-cycle model", &config);
 
-    let cols = vec![
-        "avg cycles".to_owned(),
-        "mem accesses/walk".to_owned(),
-        "pwc hit rate".to_owned(),
-    ];
+    let cols =
+        vec!["avg cycles".to_owned(), "mem accesses/walk".to_owned(), "pwc hit rate".to_owned()];
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for (workload, scenario) in [
@@ -70,9 +67,5 @@ fn main() {
          cold 80-cycle bound — bracketing the paper's fixed 50-cycle charge.\n",
         render_table("walk stream", &cols, &rows)
     );
-    emit(
-        "ext_walk_latency",
-        &text,
-        &serde_json::to_string_pretty(&json).expect("serializable"),
-    );
+    emit("ext_walk_latency", &text, &serde_json::to_string_pretty(&json).expect("serializable"));
 }

@@ -17,7 +17,8 @@ fn main() {
     banner("Figure 1: contiguity CDFs under fragmentation pressure", &config);
 
     // canneal's ~1 GB working set and raytrace's ~1.3 GB, scaled.
-    let subjects = [("canneal_4socket", 1u64 << 18), ("raytrace_2socket", (1u64 << 18) + (1 << 16))];
+    let subjects =
+        [("canneal_4socket", 1u64 << 18), ("raytrace_2socket", (1u64 << 18) + (1 << 16))];
     let sizes: Vec<u64> = (0..=10).map(|i| 1u64 << i).collect();
     let cols: Vec<String> = sizes.iter().map(|s| format!("<=2^{}", s.ilog2())).collect();
 
@@ -33,10 +34,8 @@ fn main() {
                 level,
             );
             let hist = ContiguityHistogram::from_map(&map);
-            let cells: Vec<String> = sizes
-                .iter()
-                .map(|&s| format!("{:.2}", hist.fraction_in_chunks_up_to(s)))
-                .collect();
+            let cells: Vec<String> =
+                sizes.iter().map(|&s| format!("{:.2}", hist.fraction_in_chunks_up_to(s))).collect();
             json_rows.push(serde_json::json!({
                 "subject": label,
                 "pressure": format!("{level:?}"),

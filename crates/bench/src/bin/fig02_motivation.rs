@@ -37,9 +37,5 @@ fn main() {
          RMM ~ base at small contiguity, near zero at large contiguity.\n",
         render_table("mean rel. misses %", &cols, &rows)
     );
-    emit(
-        "fig02_motivation",
-        &text,
-        &serde_json::to_string_pretty(&suites).expect("serializable"),
-    );
+    emit("fig02_motivation", &text, &serde_json::to_string_pretty(&suites).expect("serializable"));
 }

@@ -1,7 +1,7 @@
 //! Figure 9: mean relative TLB misses of every scheme under all six
 //! mapping scenarios.
 
-use hytlb_bench::{banner, config_from_args, emit, per_benchmark_suite};
+use hytlb_bench::{banner, config_from_args, emit, per_benchmark_suites};
 use hytlb_mem::Scenario;
 use hytlb_sim::report::{render_table, suite_bars, to_json};
 
@@ -9,22 +9,18 @@ fn main() {
     let config = config_from_args();
     banner("Figure 9: mean relative TLB misses, all mapping scenarios", &config);
 
-    let mut rows = Vec::new();
-    let mut suites = Vec::new();
-    let mut cols: Vec<String> = Vec::new();
-    for scenario in Scenario::all() {
-        eprintln!("running scenario {scenario} ...");
-        let suite = per_benchmark_suite(scenario, &config);
-        if cols.is_empty() {
-            cols = suite.schemes.clone();
-        }
-        let means = suite.mean_relative_misses();
-        rows.push((
-            scenario.label().to_owned(),
-            means.iter().map(|m| format!("{m:.1}")).collect(),
-        ));
-        suites.push(suite);
-    }
+    // One matrix call: all six scenarios share the worker pool, and each
+    // workload's trace is generated once for the whole figure.
+    eprintln!("running all {} scenarios ...", Scenario::all().len());
+    let suites = per_benchmark_suites(&Scenario::all(), &config);
+    let cols: Vec<String> = suites[0].schemes.clone();
+    let rows: Vec<(String, Vec<String>)> = suites
+        .iter()
+        .map(|suite| {
+            let means = suite.mean_relative_misses();
+            (suite.scenario.label().to_owned(), means.iter().map(|m| format!("{m:.1}")).collect())
+        })
+        .collect();
     let mut text = render_table("mean rel. misses %", &cols, &rows);
     text.push('\n');
     for suite in &suites {

@@ -16,12 +16,8 @@ fn main() {
     let mut text = String::new();
     let mut suites = Vec::new();
     for scenario in [Scenario::DemandPaging, Scenario::MediumContiguity] {
-        let suite = run_suite(
-            scenario,
-            &WorkloadKind::all(),
-            &[SchemeKind::AnchorDynamic],
-            &config,
-        );
+        let suite =
+            run_suite(scenario, &WorkloadKind::all(), &[SchemeKind::AnchorDynamic], &config);
         text.push_str(&l2_breakdown_table(&suite, 0));
         text.push('\n');
         suites.push(suite);

@@ -61,9 +61,5 @@ fn main() {
          medium; large (>=256) on high/max; demand/eager pick large distances for\n\
          big-chunk apps (gups, graph500, mcf) and small ones for omnetpp/xalancbmk.\n",
     );
-    emit(
-        "table6_distances",
-        &text,
-        &serde_json::to_string_pretty(&json).expect("serializable"),
-    );
+    emit("table6_distances", &text, &serde_json::to_string_pretty(&json).expect("serializable"));
 }

@@ -23,11 +23,8 @@ use std::path::PathBuf;
 /// Panics with a usage message on malformed arguments.
 #[must_use]
 pub fn config_from_args() -> PaperConfig {
-    let mut config = PaperConfig {
-        accesses: 1_000_000,
-        footprint_shift: 2,
-        ..PaperConfig::default()
-    };
+    let mut config =
+        PaperConfig { accesses: 1_000_000, footprint_shift: 2, ..PaperConfig::default() };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -84,7 +81,8 @@ pub fn banner(experiment: &str, config: &PaperConfig) {
 }
 
 use hytlb_mem::Scenario;
-use hytlb_sim::experiment::{run_suite, static_ideal, SuiteResult, WorkloadRow};
+use hytlb_sim::experiment::SuiteResult;
+use hytlb_sim::matrix::{run_matrix_with_static_ideal, MatrixCache};
 use hytlb_sim::SchemeKind;
 use hytlb_trace::WorkloadKind;
 
@@ -101,21 +99,23 @@ pub fn figure_static_sweep() -> Vec<u64> {
 /// scenario. Returns a suite whose last column is `Static Ideal`.
 #[must_use]
 pub fn per_benchmark_suite(scenario: Scenario, config: &PaperConfig) -> SuiteResult {
-    let kinds = SchemeKind::paper_set();
-    let mut suite = run_suite(scenario, &WorkloadKind::all(), &kinds, config);
-    let sweep = figure_static_sweep();
-    suite.schemes.push("Static Ideal".to_owned());
-    let rows: Vec<WorkloadRow> = suite
-        .rows
-        .into_iter()
-        .map(|mut row| {
-            let best = static_ideal(row.workload, scenario, &sweep, config);
-            row.runs.push(best);
-            row
-        })
-        .collect();
-    suite.rows = rows;
-    suite
+    per_benchmark_suites(&[scenario], config).pop().expect("one scenario in, one suite out")
+}
+
+/// [`per_benchmark_suite`] over several scenarios at once (Figure 9): the
+/// whole scenario × workload × scheme × sweep matrix runs on one worker
+/// pool, and each workload's mapping and trace are generated exactly once
+/// per scenario — not once per scheme or figure.
+#[must_use]
+pub fn per_benchmark_suites(scenarios: &[Scenario], config: &PaperConfig) -> Vec<SuiteResult> {
+    run_matrix_with_static_ideal(
+        &MatrixCache::new(),
+        scenarios,
+        &WorkloadKind::all(),
+        &SchemeKind::paper_set(),
+        &figure_static_sweep(),
+        config,
+    )
 }
 
 #[cfg(test)]

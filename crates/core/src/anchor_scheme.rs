@@ -122,21 +122,16 @@ impl AnchorScheme {
     /// Panics if a static distance in the config is invalid.
     #[must_use]
     pub fn new(map: Arc<AddressSpaceMap>, config: AnchorConfig) -> Self {
-        let selector = DistanceSelector::new(
-            (1..=16).map(|s| 1u64 << s).collect(),
-            config.cost_model,
-            0.10,
-        );
+        let selector =
+            DistanceSelector::new((1..=16).map(|s| 1u64 << s).collect(), config.cost_model, 0.10);
         let (os, name) = match config.mode {
             DistanceMode::Dynamic => (OsKernel::new(map, selector), "Dynamic".to_owned()),
-            DistanceMode::Static(d) => (
-                OsKernel::with_static_distance(map, d),
-                format!("Anchor-d{d}"),
-            ),
-            DistanceMode::MultiRegion(n) => (
-                OsKernel::with_regions(map, selector, n),
-                format!("Anchor-region{n}"),
-            ),
+            DistanceMode::Static(d) => {
+                (OsKernel::with_static_distance(map, d), format!("Anchor-d{d}"))
+            }
+            DistanceMode::MultiRegion(n) => {
+                (OsKernel::with_regions(map, selector, n), format!("Anchor-region{n}"))
+            }
         };
         AnchorScheme {
             l1: L1Tlb::paper_default(),
@@ -197,10 +192,18 @@ impl TranslationScheme for AnchorScheme {
             AccessResult { path: TranslationPath::L1Hit, cycles: Cycles::ZERO, pfn: Some(pfn) }
         } else if let Some(pfn) = self.l2.lookup_4k(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if let Some(pfn) = self.l2.lookup_2m(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Huge2M);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else {
             let d = self.os.distance_for(vpn);
             let d_log = d.trailing_zeros();
@@ -246,9 +249,17 @@ impl TranslationScheme for AnchorScheme {
                             }
                         }
                         self.l1.insert(vpn, pfn, PageSize::Base4K);
-                        AccessResult { path: TranslationPath::Walk, cycles: walk.cycles, pfn: Some(pfn) }
+                        AccessResult {
+                            path: TranslationPath::Walk,
+                            cycles: walk.cycles,
+                            pfn: Some(pfn),
+                        }
                     }
-                    None => AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None },
+                    None => AccessResult {
+                        path: TranslationPath::Fault,
+                        cycles: walk.cycles,
+                        pfn: None,
+                    },
                 }
             }
         };
@@ -304,7 +315,12 @@ mod tests {
         // One 8-page chunk, distance 8: the first walk fills the anchor;
         // every other page of the chunk is then an anchor hit at 8 cycles.
         let mut m = AddressSpaceMap::new();
-        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(96), 8, hytlb_types::Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(0),
+            PhysFrameNum::new(96),
+            8,
+            hytlb_types::Permissions::READ_WRITE,
+        );
         let map = Arc::new(m);
         let mut s = AnchorScheme::new(Arc::clone(&map), AnchorConfig::static_distance(8));
         assert_eq!(s.access(va(VirtPageNum::new(3))).path, TranslationPath::Walk);
@@ -319,8 +335,18 @@ mod tests {
         // Chunk covers pages 0..4 of an 8-page anchor block; pages 4..8 are
         // mapped elsewhere (discontiguous).
         let mut m = AddressSpaceMap::new();
-        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(96), 4, hytlb_types::Permissions::READ_WRITE);
-        m.map_range(VirtPageNum::new(4), PhysFrameNum::new(200), 4, hytlb_types::Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(0),
+            PhysFrameNum::new(96),
+            4,
+            hytlb_types::Permissions::READ_WRITE,
+        );
+        m.map_range(
+            VirtPageNum::new(4),
+            PhysFrameNum::new(200),
+            4,
+            hytlb_types::Permissions::READ_WRITE,
+        );
         let map = Arc::new(m);
         let mut s = AnchorScheme::new(Arc::clone(&map), AnchorConfig::static_distance(8));
         s.access(va(VirtPageNum::new(0))); // walk; fills anchor (contiguity 4)
@@ -340,7 +366,12 @@ mod tests {
     #[test]
     fn table2_row4_double_miss_fills_only_anchor() {
         let mut m = AddressSpaceMap::new();
-        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(96), 8, hytlb_types::Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(0),
+            PhysFrameNum::new(96),
+            8,
+            hytlb_types::Permissions::READ_WRITE,
+        );
         let map = Arc::new(m);
         let mut s = AnchorScheme::new(Arc::clone(&map), AnchorConfig::static_distance(8));
         s.access(va(VirtPageNum::new(3)));
@@ -357,7 +388,12 @@ mod tests {
         // pages 0..2 contiguous, page 2..8 unmapped... use a singleton far
         // from its anchor: anchor 0 unmapped entirely.
         let mut m = AddressSpaceMap::new();
-        m.map_range(VirtPageNum::new(5), PhysFrameNum::new(300), 1, hytlb_types::Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(5),
+            PhysFrameNum::new(300),
+            1,
+            hytlb_types::Permissions::READ_WRITE,
+        );
         let map = Arc::new(m);
         let mut s = AnchorScheme::new(Arc::clone(&map), AnchorConfig::static_distance(8));
         let r = s.access(va(VirtPageNum::new(5)));
@@ -412,14 +448,19 @@ mod tests {
         // contiguity stops at the boundary and the RO page is served by
         // its own entry.
         let mut m = AddressSpaceMap::new();
-        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(96), 4, hytlb_types::Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(0),
+            PhysFrameNum::new(96),
+            4,
+            hytlb_types::Permissions::READ_WRITE,
+        );
         m.map_range(VirtPageNum::new(4), PhysFrameNum::new(100), 4, hytlb_types::Permissions::READ);
         let map = Arc::new(m);
         assert_eq!(map.chunk_count(), 2, "permissions split the chunks");
         let mut s = AnchorScheme::new(Arc::clone(&map), AnchorConfig::static_distance(8));
         s.access(va(VirtPageNum::new(0))); // anchor fill, contiguity 4
-        // Page 5 is beyond the anchor's contiguity: anchor hit but
-        // contiguity miss -> page walk (Table 2 row 3), correct frame.
+                                           // Page 5 is beyond the anchor's contiguity: anchor hit but
+                                           // contiguity miss -> page walk (Table 2 row 3), correct frame.
         let r = s.access(va(VirtPageNum::new(5)));
         assert_eq!(r.path, TranslationPath::Walk);
         assert_eq!(r.pfn, Some(PhysFrameNum::new(101)));
@@ -480,10 +521,8 @@ mod tests {
         // mapping: the walker installs 2 MB entries, and a far page of the
         // same huge page hits them.
         let map = Arc::new(Scenario::MaxContiguity.generate(4096, 13));
-        let cfg = AnchorConfig {
-            fill: FillPolicy::AlwaysRegular,
-            ..AnchorConfig::static_distance(2)
-        };
+        let cfg =
+            AnchorConfig { fill: FillPolicy::AlwaysRegular, ..AnchorConfig::static_distance(2) };
         let mut s = AnchorScheme::new(Arc::clone(&map), cfg);
         let head = map.chunks().next().unwrap().vpn;
         assert_eq!(s.access(va(head)).path, TranslationPath::Walk);

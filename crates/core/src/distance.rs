@@ -151,11 +151,8 @@ impl DistanceSelector {
             // The sum tracks the measured static-ideal sweep across all
             // six scenarios (see EXPERIMENTS.md); ties break toward the
             // smaller distance in `select`.
-            let mut kinds = [
-                (distance, anchors_total),
-                (HUGE_PAGE_PAGES, large_total),
-                (1, pages_total),
-            ];
+            let mut kinds =
+                [(distance, anchors_total), (HUGE_PAGE_PAGES, large_total), (1, pages_total)];
             kinds.sort_unstable_by_key(|&(coverage, _)| core::cmp::Reverse(coverage));
             let mut budget = L2_ENTRY_BUDGET;
             let mut covered = 0u64;

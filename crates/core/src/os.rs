@@ -56,15 +56,7 @@ impl OsKernel {
         let initial = selector.select(&histogram);
         let mut apt = AnchoredPageTable::new(PageTable::from_map(&map, false), initial);
         apt.reanchor(&map, initial);
-        OsKernel {
-            map,
-            apt,
-            selector,
-            histogram,
-            regions: None,
-            epochs: 0,
-            distance_changes: 0,
-        }
+        OsKernel { map, apt, selector, histogram, regions: None, epochs: 0, distance_changes: 0 }
     }
 
     /// Boots the kernel with a *fixed* anchor distance (the paper's
@@ -93,7 +85,11 @@ impl OsKernel {
     /// address space is partitioned into at most `max_regions` regions by
     /// contiguity similarity and each gets its own selected distance.
     #[must_use]
-    pub fn with_regions(map: Arc<AddressSpaceMap>, selector: DistanceSelector, max_regions: usize) -> Self {
+    pub fn with_regions(
+        map: Arc<AddressSpaceMap>,
+        selector: DistanceSelector,
+        max_regions: usize,
+    ) -> Self {
         let histogram = ContiguityHistogram::from_map(&map);
         let regions = RegionTable::partition(&map, &selector, max_regions);
         let default = selector.select(&histogram);
@@ -225,10 +221,8 @@ mod tests {
         assert!(os.distance() <= 8, "low contiguity picks a small distance");
         // Some anchor must be probeable.
         let first = map.chunks().next().unwrap().vpn;
-        let covered = map
-            .iter_pages()
-            .take(64)
-            .any(|(v, _)| os.anchor_probe(v).is_some_and(|p| p.covers(v)));
+        let covered =
+            map.iter_pages().take(64).any(|(v, _)| os.anchor_probe(v).is_some_and(|p| p.covers(v)));
         assert!(covered, "no anchor covers any early page (first chunk at {first})");
     }
 
@@ -293,12 +287,22 @@ mod tests {
         let mut vpn = 0u64;
         let mut pfn = 1u64 << 20;
         for _ in 0..256 {
-            m.map_range(VirtPageNum::new(vpn), hytlb_types::PhysFrameNum::new(pfn), 4, hytlb_types::Permissions::READ_WRITE);
+            m.map_range(
+                VirtPageNum::new(vpn),
+                hytlb_types::PhysFrameNum::new(pfn),
+                4,
+                hytlb_types::Permissions::READ_WRITE,
+            );
             vpn += 4;
             pfn += 6;
         }
         let huge_base = 1u64 << 30 >> 12 << 12; // far, aligned
-        m.map_range(VirtPageNum::new(huge_base), hytlb_types::PhysFrameNum::new(1 << 24), 1 << 14, hytlb_types::Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(huge_base),
+            hytlb_types::PhysFrameNum::new(1 << 24),
+            1 << 14,
+            hytlb_types::Permissions::READ_WRITE,
+        );
         let map = Arc::new(m);
         let os = OsKernel::with_regions(Arc::clone(&map), DistanceSelector::paper_default(), 4);
         let rt = os.regions().unwrap();

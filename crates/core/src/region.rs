@@ -51,7 +51,11 @@ impl RegionTable {
     ///
     /// Panics if `max_regions` is zero.
     #[must_use]
-    pub fn partition(map: &AddressSpaceMap, selector: &DistanceSelector, max_regions: usize) -> Self {
+    pub fn partition(
+        map: &AddressSpaceMap,
+        selector: &DistanceSelector,
+        max_regions: usize,
+    ) -> Self {
         assert!(max_regions >= 1, "need at least one region");
         // Seed groups: runs of adjacent chunks sharing a size bucket.
         #[derive(Debug)]
@@ -132,7 +136,12 @@ mod tests {
             pfn += 5;
         }
         // Huge area: one 16 K-page chunk far away.
-        m.map_range(VirtPageNum::new(1 << 20), PhysFrameNum::new(1 << 22), 1 << 14, Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(1 << 20),
+            PhysFrameNum::new(1 << 22),
+            1 << 14,
+            Permissions::READ_WRITE,
+        );
         m
     }
 

@@ -109,10 +109,7 @@ impl AddressSpaceMap {
     /// a bug, not a recoverable condition.
     pub fn map_range(&mut self, vpn: VirtPageNum, pfn: PhysFrameNum, len: u64, perms: Permissions) {
         assert!(len > 0, "cannot map an empty range");
-        assert!(
-            !self.overlaps(vpn, len),
-            "double map at {vpn} (+{len} pages)"
-        );
+        assert!(!self.overlaps(vpn, len), "double map at {vpn} (+{len} pages)");
         let mut chunk = MapChunk { vpn, pfn, len, perms };
         // Merge with predecessor.
         if let Some((&pk, &prev)) = self.chunks.range(..vpn.as_u64()).next_back() {
@@ -179,20 +176,13 @@ impl AddressSpaceMap {
     #[must_use]
     pub fn overlaps(&self, vpn: VirtPageNum, len: u64) -> bool {
         let end = vpn + len;
-        self.chunks
-            .range(..end.as_u64())
-            .next_back()
-            .is_some_and(|(_, c)| c.end_vpn() > vpn)
+        self.chunks.range(..end.as_u64()).next_back().is_some_and(|(_, c)| c.end_vpn() > vpn)
     }
 
     /// The chunk containing `vpn`, if mapped.
     #[must_use]
     pub fn chunk_containing(&self, vpn: VirtPageNum) -> Option<&MapChunk> {
-        self.chunks
-            .range(..=vpn.as_u64())
-            .next_back()
-            .map(|(_, c)| c)
-            .filter(|c| c.contains(vpn))
+        self.chunks.range(..=vpn.as_u64()).next_back().map(|(_, c)| c).filter(|c| c.contains(vpn))
     }
 
     /// Translates a virtual page to its backing frame.
@@ -212,8 +202,7 @@ impl AddressSpaceMap {
     /// an anchor PTE at `vpn` would record as its contiguity.
     #[must_use]
     pub fn contiguity_at(&self, vpn: VirtPageNum) -> u64 {
-        self.chunk_containing(vpn)
-            .map_or(0, |c| c.len - (vpn - c.vpn))
+        self.chunk_containing(vpn).map_or(0, |c| c.len - (vpn - c.vpn))
     }
 
     /// If `vpn` lies inside a mapping usable as an x86-64 2 MB page —
@@ -248,9 +237,7 @@ impl AddressSpaceMap {
     /// Iterates over every mapped `(vpn, pfn)` pair. Intended for tests and
     /// page-table construction; cost is `O(mapped_pages)`.
     pub fn iter_pages(&self) -> impl Iterator<Item = (VirtPageNum, PhysFrameNum)> + '_ {
-        self.chunks
-            .values()
-            .flat_map(|c| (0..c.len).map(move |i| (c.vpn + i, c.pfn + i)))
+        self.chunks.values().flat_map(|c| (0..c.len).map(move |i| (c.vpn + i, c.pfn + i)))
     }
 
     /// Builds an index for O(log chunks) lookup of the *i-th mapped page*.
@@ -299,10 +286,7 @@ impl PageIndex {
     #[must_use]
     pub fn nth_page(&self, i: u64) -> VirtPageNum {
         assert!(i < self.total, "page index {i} out of {}", self.total);
-        let pos = self
-            .cumulative
-            .partition_point(|&(first, _)| first <= i)
-            - 1;
+        let pos = self.cumulative.partition_point(|&(first, _)| first <= i) - 1;
         let (first, vpn) = self.cumulative[pos];
         vpn + (i - first)
     }
@@ -448,6 +432,53 @@ mod tests {
         let mut m = AddressSpaceMap::new();
         m.map_range(VirtPageNum::new(0), PhysFrameNum::new(0), 1, rw());
         let _ = m.page_index().nth_page(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn page_index_rejects_far_out_of_range() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(0), 8, rw());
+        let _ = m.page_index().nth_page(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn empty_page_index_rejects_zero() {
+        let _ = AddressSpaceMap::new().page_index().nth_page(0);
+    }
+
+    #[test]
+    fn page_index_chunk_seam_boundaries() {
+        // Chunks of different lengths, including a single-page one: the
+        // exact first/last logical index of each chunk is where the
+        // partition-point lookup changes cells.
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(10), PhysFrameNum::new(0), 4, rw()); // logical 0..=3
+        m.map_range(VirtPageNum::new(20), PhysFrameNum::new(100), 1, rw()); // logical 4
+        m.map_range(VirtPageNum::new(30), PhysFrameNum::new(200), 3, rw()); // logical 5..=7
+        let idx = m.page_index();
+        assert_eq!(idx.len(), 8);
+        assert_eq!(idx.nth_page(0), VirtPageNum::new(10)); // first page of first chunk
+        assert_eq!(idx.nth_page(3), VirtPageNum::new(13)); // last page before a seam
+        assert_eq!(idx.nth_page(4), VirtPageNum::new(20)); // the single-page chunk
+        assert_eq!(idx.nth_page(5), VirtPageNum::new(30)); // first page after a seam
+        assert_eq!(idx.nth_page(7), VirtPageNum::new(32)); // last valid index
+    }
+
+    #[test]
+    fn page_index_matches_iter_pages_exhaustively() {
+        // Seams produced by merging and unmapping, not just fresh ranges.
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 6, rw());
+        m.map_range(VirtPageNum::new(6), PhysFrameNum::new(106), 6, rw()); // merges
+        m.unmap_range(VirtPageNum::new(4), 3); // splits the merged chunk
+        m.map_range(VirtPageNum::new(40), PhysFrameNum::new(500), 2, rw());
+        let idx = m.page_index();
+        assert_eq!(idx.len(), m.mapped_pages());
+        for (i, (vpn, _)) in m.iter_pages().enumerate() {
+            assert_eq!(idx.nth_page(i as u64), vpn, "logical index {i}");
+        }
     }
 
     #[test]

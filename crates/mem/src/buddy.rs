@@ -104,7 +104,8 @@ impl BuddyAllocator {
         // Greedily cover [0, total_frames) with aligned maximal blocks.
         let mut base = 0u64;
         while base < total_frames {
-            let align_order = if base == 0 { MAX_ORDER } else { base.trailing_zeros().min(MAX_ORDER) };
+            let align_order =
+                if base == 0 { MAX_ORDER } else { base.trailing_zeros().min(MAX_ORDER) };
             let mut order = align_order;
             while (1u64 << order) > total_frames - base {
                 order -= 1;
@@ -253,9 +254,8 @@ impl BuddyAllocator {
         if self.free_frames == 0 {
             return 0.0;
         }
-        let large: u64 = (9..=MAX_ORDER)
-            .map(|o| self.free_lists[o as usize].len() as u64 * (1u64 << o))
-            .sum();
+        let large: u64 =
+            (9..=MAX_ORDER).map(|o| self.free_lists[o as usize].len() as u64 * (1u64 << o)).sum();
         1.0 - large as f64 / self.free_frames as f64
     }
 }
@@ -308,20 +308,14 @@ mod tests {
     fn out_of_memory_and_bad_order() {
         let mut b = BuddyAllocator::new(4);
         assert!(matches!(b.allocate(3), Err(BuddyError::OutOfMemory { .. })));
-        assert!(matches!(
-            b.allocate(MAX_ORDER + 1),
-            Err(BuddyError::OrderTooLarge { .. })
-        ));
+        assert!(matches!(b.allocate(MAX_ORDER + 1), Err(BuddyError::OrderTooLarge { .. })));
     }
 
     #[test]
     fn invalid_free_is_rejected() {
         let mut b = BuddyAllocator::new(16);
         let f = b.allocate(1).unwrap();
-        assert!(matches!(
-            b.free(f, 2),
-            Err(BuddyError::InvalidFree { .. })
-        ));
+        assert!(matches!(b.free(f, 2), Err(BuddyError::InvalidFree { .. })));
         assert!(b.free(PhysFrameNum::new(99), 0).is_err());
         b.free(f, 1).unwrap();
         // Double free.

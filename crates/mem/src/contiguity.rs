@@ -131,11 +131,7 @@ impl ContiguityHistogram {
         if total == 0 {
             return 0.0;
         }
-        let covered: u64 = self
-            .entries
-            .range(..=size)
-            .map(|(&c, &f)| c * f)
-            .sum();
+        let covered: u64 = self.entries.range(..=size).map(|(&c, &f)| c * f).sum();
         covered as f64 / total as f64
     }
 

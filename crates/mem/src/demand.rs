@@ -95,7 +95,12 @@ impl DemandPager {
     /// Like Linux, THP maps a whole 2 MB region only when that region lies
     /// entirely within the VMA — faults in small VMAs always get 4 KB
     /// pages, which is why fine-grained allocators see little THP benefit.
-    pub fn touch_in_vma(&mut self, vpn: VirtPageNum, vma_start: VirtPageNum, vma_len: u64) -> TouchOutcome {
+    pub fn touch_in_vma(
+        &mut self,
+        vpn: VirtPageNum,
+        vma_start: VirtPageNum,
+        vma_len: u64,
+    ) -> TouchOutcome {
         if self.map.translate(vpn).is_some() {
             return TouchOutcome::AlreadyMapped;
         }

@@ -197,9 +197,8 @@ mod tests {
         f.shatter(&mut b, FragmentationLevel::Heavy);
         // After heavy churn, far fewer order-9 (2 MB) blocks remain than the
         // pristine allocator's 32.
-        let huge_frames: u64 = (9..=MAX_ORDER)
-            .map(|o| b.free_blocks_of_order(o) as u64 * (1 << o))
-            .sum();
+        let huge_frames: u64 =
+            (9..=MAX_ORDER).map(|o| b.free_blocks_of_order(o) as u64 * (1 << o)).sum();
         assert!(huge_frames < (1 << 14) / 2);
     }
 }

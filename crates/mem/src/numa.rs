@@ -111,7 +111,11 @@ impl NumaTopology {
     ///
     /// [`BuddyError::OutOfMemory`] when a node required by the policy is
     /// exhausted.
-    pub fn allocate_map(&mut self, pages: u64, policy: NumaPolicy) -> Result<AddressSpaceMap, BuddyError> {
+    pub fn allocate_map(
+        &mut self,
+        pages: u64,
+        policy: NumaPolicy,
+    ) -> Result<AddressSpaceMap, BuddyError> {
         let mut map = AddressSpaceMap::new();
         let mut vpn = VirtPageNum::new(crate::scenario::VA_BASE);
         match policy {
@@ -120,7 +124,12 @@ impl NumaTopology {
                 let base = self.bases[node];
                 let runs = self.nodes[node].allocate_run(pages)?;
                 for (pfn, len) in runs {
-                    map.map_range(vpn, PhysFrameNum::new(base + pfn.as_u64()), len, Permissions::READ_WRITE);
+                    map.map_range(
+                        vpn,
+                        PhysFrameNum::new(base + pfn.as_u64()),
+                        len,
+                        Permissions::READ_WRITE,
+                    );
                     vpn += len;
                 }
             }
@@ -184,9 +193,8 @@ mod tests {
     #[test]
     fn interleave_balances_but_shatters() {
         let mut numa = NumaTopology::new(4, 1 << 13);
-        let map = numa
-            .allocate_map(4096, NumaPolicy::Interleave { granularity_pages: 32 })
-            .unwrap();
+        let map =
+            numa.allocate_map(4096, NumaPolicy::Interleave { granularity_pages: 32 }).unwrap();
         let shares = numa.node_shares(&map);
         for s in &shares {
             assert!((s - 0.25).abs() < 0.05, "{shares:?}");
@@ -201,14 +209,12 @@ mod tests {
     #[test]
     fn fragmentation_pressure_compounds_with_interleaving() {
         let mut calm = NumaTopology::new(2, 1 << 14);
-        let calm_map = calm
-            .allocate_map(4096, NumaPolicy::Interleave { granularity_pages: 512 })
-            .unwrap();
+        let calm_map =
+            calm.allocate_map(4096, NumaPolicy::Interleave { granularity_pages: 512 }).unwrap();
         let mut stressed = NumaTopology::new(2, 1 << 14);
         stressed.shatter_all(FragmentationLevel::Heavy, 9);
-        let stressed_map = stressed
-            .allocate_map(4096, NumaPolicy::Interleave { granularity_pages: 512 })
-            .unwrap();
+        let stressed_map =
+            stressed.allocate_map(4096, NumaPolicy::Interleave { granularity_pages: 512 }).unwrap();
         let a = ContiguityHistogram::from_map(&calm_map).mean_contiguity();
         let b = ContiguityHistogram::from_map(&stressed_map).mean_contiguity();
         assert!(b < a, "pressure must reduce contiguity: {b} vs {a}");

@@ -194,7 +194,11 @@ impl core::fmt::Display for Scenario {
 
 /// Builds a fragmented buddy allocator big enough for `footprint` pages plus
 /// slack for the background jobs.
-fn pressured_buddy(footprint: u64, rng: &mut SmallRng, pressure: FragmentationLevel) -> BuddyAllocator {
+fn pressured_buddy(
+    footprint: u64,
+    rng: &mut SmallRng,
+    pressure: FragmentationLevel,
+) -> BuddyAllocator {
     // Physical memory = 4x the footprint, with a floor so tiny footprints
     // still see realistic block-size diversity.
     let phys = (footprint * 4).max(1 << 14);
@@ -212,7 +216,11 @@ fn pressured_buddy(footprint: u64, rng: &mut SmallRng, pressure: FragmentationLe
 /// regions; fine profiles make many small VMAs separated by one-page holes
 /// (so neither THP nor chunk merging can bridge them, as on a real heap of
 /// scattered mmaps).
-fn vma_layout(footprint: u64, rng: &mut SmallRng, profile: AllocationProfile) -> Vec<(VirtPageNum, u64)> {
+fn vma_layout(
+    footprint: u64,
+    rng: &mut SmallRng,
+    profile: AllocationProfile,
+) -> Vec<(VirtPageNum, u64)> {
     if profile.is_contiguous() {
         let regions = region_split(footprint, rng.gen_range(3..=6), rng);
         let mut out = Vec::new();
@@ -283,9 +291,7 @@ fn eager_mapping(
     let mut buddy = pressured_buddy(footprint, rng, pressure);
     let mut map = AddressSpaceMap::new();
     for (vma_start, vma_len) in vma_layout(footprint, rng, profile) {
-        let runs = buddy
-            .allocate_run(vma_len)
-            .expect("pressured_buddy guarantees headroom");
+        let runs = buddy.allocate_run(vma_len).expect("pressured_buddy guarantees headroom");
         let mut vpn = vma_start;
         for (pfn, len) in runs {
             map.map_range(vpn, pfn, len, Permissions::READ_WRITE);
@@ -447,7 +453,8 @@ mod tests {
 
     #[test]
     fn pressure_reduces_contiguity() {
-        let calm = Scenario::DemandPaging.generate_with_pressure(FOOTPRINT, 6, FragmentationLevel::None);
+        let calm =
+            Scenario::DemandPaging.generate_with_pressure(FOOTPRINT, 6, FragmentationLevel::None);
         let stressed =
             Scenario::DemandPaging.generate_with_pressure(FOOTPRINT, 6, FragmentationLevel::Heavy);
         let hc = ContiguityHistogram::from_map(&calm);
@@ -486,7 +493,8 @@ mod tests {
 
     #[test]
     fn contiguous_profile_matches_default_generation() {
-        let a = Scenario::DemandPaging.generate_with_pressure(4096, 9, FragmentationLevel::Moderate);
+        let a =
+            Scenario::DemandPaging.generate_with_pressure(4096, 9, FragmentationLevel::Moderate);
         let b = Scenario::DemandPaging.generate_profiled(
             4096,
             9,

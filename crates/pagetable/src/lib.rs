@@ -41,7 +41,10 @@ mod table;
 mod walker;
 
 pub use anchored::{AnchorProbe, AnchoredPageTable, ReanchorCost};
+pub use pte::{
+    read_distributed_contiguity, write_distributed_contiguity, PageTableEntry, ANCHOR_BITS_PER_PTE,
+    MAX_CONTIGUITY,
+};
 pub use pwc::{CachedWalkResult, CachedWalker};
-pub use pte::{read_distributed_contiguity, write_distributed_contiguity, PageTableEntry, ANCHOR_BITS_PER_PTE, MAX_CONTIGUITY};
 pub use table::{LeafEntry, PageTable};
 pub use walker::{PageWalker, WalkLatency, WalkResult};

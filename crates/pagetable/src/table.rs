@@ -39,13 +39,8 @@ impl LeafEntry {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Interior {
-        entries: Box<[PageTableEntry; ENTRIES]>,
-        children: Vec<Option<Box<Node>>>,
-    },
-    Leaf {
-        entries: Box<[PageTableEntry; ENTRIES]>,
-    },
+    Interior { entries: Box<[PageTableEntry; ENTRIES]>, children: Vec<Option<Box<Node>>> },
+    Leaf { entries: Box<[PageTableEntry; ENTRIES]> },
 }
 
 impl Node {
@@ -154,12 +149,10 @@ impl PageTable {
             let idx = index_at(vpn, level);
             match node {
                 Node::Interior { entries, children } => {
-                    assert!(
-                        !entries[idx].is_huge(),
-                        "page {vpn} already mapped by a huge leaf"
-                    );
+                    assert!(!entries[idx].is_huge(), "page {vpn} already mapped by a huge leaf");
                     if children[idx].is_none() {
-                        let child = if level == LEVELS - 2 { Node::leaf() } else { Node::interior() };
+                        let child =
+                            if level == LEVELS - 2 { Node::leaf() } else { Node::interior() };
                         children[idx] = Some(Box::new(child));
                         entries[idx] = PageTableEntry::new_table(PhysFrameNum::new(0));
                     }
@@ -395,14 +388,22 @@ impl PageTable {
 
     /// Writes the contiguity field anchored at `anchor_vpn`. Returns `false`
     /// when no 4 KB PT node covers the anchor.
-    pub fn write_anchor_contiguity(&mut self, anchor_vpn: VirtPageNum, distance: u64, contiguity: u64) -> bool {
+    pub fn write_anchor_contiguity(
+        &mut self,
+        anchor_vpn: VirtPageNum,
+        distance: u64,
+        contiguity: u64,
+    ) -> bool {
         let Some(entries) = self.pt_leaf_entries_mut(anchor_vpn) else {
             return false;
         };
         let idx = index_at(anchor_vpn, LEVELS - 1);
         if distance >= PTES_PER_CACHE_BLOCK as u64 {
             let base = idx - idx % PTES_PER_CACHE_BLOCK;
-            write_distributed_contiguity(&mut entries[base..base + PTES_PER_CACHE_BLOCK], contiguity);
+            write_distributed_contiguity(
+                &mut entries[base..base + PTES_PER_CACHE_BLOCK],
+                contiguity,
+            );
         } else {
             entries[idx].set_ignored_bits(contiguity.min((1 << crate::ANCHOR_BITS_PER_PTE) - 1));
         }

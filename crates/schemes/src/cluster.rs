@@ -133,11 +133,19 @@ impl TranslationScheme for ClusterScheme {
             AccessResult { path: TranslationPath::L1Hit, cycles: Cycles::ZERO, pfn: Some(pfn) }
         } else if let Some(pfn) = self.regular.lookup_4k(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if self.use_2mb && self.regular.lookup_2m(vpn).is_some() {
             let pfn = self.regular.lookup_2m(vpn).expect("just hit");
             self.l1.insert(vpn, pfn, PageSize::Huge2M);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if let Some(pfn) = self.lookup_cluster(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
             AccessResult {
@@ -168,10 +176,8 @@ impl TranslationScheme for ClusterScheme {
                             // regular 4 KB entries instead of thrashing
                             // the group's entry back and forth.
                             let candidate = self.coalesce_block(vpn, pfn);
-                            let existing_cov = self
-                                .cluster
-                                .peek(set, vcn)
-                                .map_or(0, ClusterEntry::coverage);
+                            let existing_cov =
+                                self.cluster.peek(set, vcn).map_or(0, ClusterEntry::coverage);
                             match candidate {
                                 Some(entry) if entry.coverage() > existing_cov => {
                                     self.cluster.insert(set, vcn, entry);
@@ -182,9 +188,15 @@ impl TranslationScheme for ClusterScheme {
                         }
                     }
                     self.l1.insert(vpn, pfn, leaf.size);
-                    AccessResult { path: TranslationPath::Walk, cycles: walk.cycles, pfn: Some(pfn) }
+                    AccessResult {
+                        path: TranslationPath::Walk,
+                        cycles: walk.cycles,
+                        pfn: Some(pfn),
+                    }
                 }
-                None => AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None },
+                None => {
+                    AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None }
+                }
             }
         };
         self.stats.record(result);
@@ -283,7 +295,12 @@ mod tests {
         // the entry anchored at the first page covers only its own cluster.
         let mut m = AddressSpaceMap::new();
         // VPNs 0..8 -> PFNs 4..12: PFNs 4..8 are cluster 0, 8..12 cluster 1.
-        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(4), 8, hytlb_types::Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(0),
+            PhysFrameNum::new(4),
+            8,
+            hytlb_types::Permissions::READ_WRITE,
+        );
         let map = Arc::new(m);
         let mut s = ClusterScheme::new(Arc::clone(&map), LatencyModel::default(), false);
         let r = s.access(va(VirtPageNum::new(0)));

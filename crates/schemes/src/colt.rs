@@ -168,7 +168,11 @@ impl TranslationScheme for ColtScheme {
             AccessResult { path: TranslationPath::L1Hit, cycles: Cycles::ZERO, pfn: Some(pfn) }
         } else if let Some(pfn) = self.regular.lookup_4k(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if let Some(pfn) = self.lookup_coalesced(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
             AccessResult {
@@ -191,8 +195,7 @@ impl TranslationScheme for ColtScheme {
                     let wdw = vpn.as_u64() / WINDOW;
                     let set = self.window_set(wdw);
                     let candidate = self.coalesce_run(vpn, pfn);
-                    let existing_len =
-                        self.coalesced.peek(set, wdw).map_or(0, |e| e.len);
+                    let existing_len = self.coalesced.peek(set, wdw).map_or(0, |e| e.len);
                     match candidate {
                         Some(entry) if entry.len > existing_len => {
                             self.coalesced.insert(set, wdw, entry);
@@ -215,9 +218,15 @@ impl TranslationScheme for ColtScheme {
                         }
                     }
                     self.l1.insert(vpn, pfn, PageSize::Base4K);
-                    AccessResult { path: TranslationPath::Walk, cycles: walk.cycles, pfn: Some(pfn) }
+                    AccessResult {
+                        path: TranslationPath::Walk,
+                        cycles: walk.cycles,
+                        pfn: Some(pfn),
+                    }
                 }
-                None => AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None },
+                None => {
+                    AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None }
+                }
             }
         };
         self.stats.record(result);
@@ -285,7 +294,12 @@ mod tests {
     fn discontiguous_pages_stay_regular() {
         let mut m = AddressSpaceMap::new();
         for i in 0..8u64 {
-            m.map_range(VirtPageNum::new(i), PhysFrameNum::new(100 + i * 10), 1, Permissions::READ_WRITE);
+            m.map_range(
+                VirtPageNum::new(i),
+                PhysFrameNum::new(100 + i * 10),
+                1,
+                Permissions::READ_WRITE,
+            );
         }
         let map = Arc::new(m);
         let mut s = ColtScheme::new(Arc::clone(&map), LatencyModel::default());
@@ -316,7 +330,8 @@ mod tests {
         let mut m = AddressSpaceMap::new();
         m.map_range(VirtPageNum::new(0), PhysFrameNum::new(1000), 600, Permissions::READ_WRITE);
         let map = Arc::new(m);
-        let mut fa = ColtScheme::with_fully_associative(Arc::clone(&map), LatencyModel::default(), 4);
+        let mut fa =
+            ColtScheme::with_fully_associative(Arc::clone(&map), LatencyModel::default(), 4);
         assert_eq!(fa.access(va(VirtPageNum::new(0))).path, TranslationPath::Walk);
         // A page far outside the first window is an FA coalesced hit.
         let r = fa.access(va(VirtPageNum::new(500)));
@@ -333,7 +348,8 @@ mod tests {
         let mut m = AddressSpaceMap::new();
         m.map_range(VirtPageNum::new(0), PhysFrameNum::new(10), 4, Permissions::READ_WRITE);
         let map = Arc::new(m);
-        let mut s = ColtScheme::with_fully_associative(Arc::clone(&map), LatencyModel::default(), 4);
+        let mut s =
+            ColtScheme::with_fully_associative(Arc::clone(&map), LatencyModel::default(), 4);
         s.access(va(VirtPageNum::new(0)));
         // Short runs (< window) stay in the SA structures only; the FA
         // array is reserved for long runs, so it remains empty.

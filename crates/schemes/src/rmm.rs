@@ -92,10 +92,18 @@ impl TranslationScheme for RmmScheme {
             AccessResult { path: TranslationPath::L1Hit, cycles: Cycles::ZERO, pfn: Some(pfn) }
         } else if let Some(pfn) = self.l2.lookup_4k(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if let Some(pfn) = self.l2.lookup_2m(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Huge2M);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if let Some(pfn) = self.ranges.lookup(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
             AccessResult {
@@ -126,9 +134,15 @@ impl TranslationScheme for RmmScheme {
                         }
                     }
                     self.l1.insert(vpn, pfn, leaf.size);
-                    AccessResult { path: TranslationPath::Walk, cycles: walk.cycles, pfn: Some(pfn) }
+                    AccessResult {
+                        path: TranslationPath::Walk,
+                        cycles: walk.cycles,
+                        pfn: Some(pfn),
+                    }
                 }
-                None => AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None },
+                None => {
+                    AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None }
+                }
             }
         };
         self.stats.record(result);
@@ -189,10 +203,7 @@ mod tests {
             assert_eq!(s.access(va(vpn)).pfn, Some(pfn));
         }
         let st = s.stats();
-        assert!(
-            st.walks as f64 > 0.3 * st.accesses as f64,
-            "unexpectedly effective: {st:?}"
-        );
+        assert!(st.walks as f64 > 0.3 * st.accesses as f64, "unexpectedly effective: {st:?}");
     }
 
     #[test]
@@ -220,7 +231,12 @@ mod tests {
     #[test]
     fn singleton_chunks_do_not_enter_range_tlb() {
         let mut m = AddressSpaceMap::new();
-        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 1, hytlb_types::Permissions::READ_WRITE);
+        m.map_range(
+            VirtPageNum::new(0),
+            PhysFrameNum::new(100),
+            1,
+            hytlb_types::Permissions::READ_WRITE,
+        );
         let map = Arc::new(m);
         let mut s = RmmScheme::new(Arc::clone(&map), LatencyModel::default());
         s.access(va(VirtPageNum::new(0)));

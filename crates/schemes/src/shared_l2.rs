@@ -144,16 +144,13 @@ impl SharedL2 {
     /// Looks up a 4 KB entry.
     pub fn lookup_4k(&mut self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
         let set = self.set_4k(vpn);
-        self.tlb
-            .lookup(set, KIND_4K | vpn.as_u64())
-            .map(|p| PhysFrameNum::new(p.pfn))
+        self.tlb.lookup(set, KIND_4K | vpn.as_u64()).map(|p| PhysFrameNum::new(p.pfn))
     }
 
     /// Inserts a 4 KB entry.
     pub fn insert_4k(&mut self, vpn: VirtPageNum, pfn: PhysFrameNum) {
         let set = self.set_4k(vpn);
-        self.tlb
-            .insert(set, KIND_4K | vpn.as_u64(), Payload { pfn: pfn.as_u64(), contiguity: 0 });
+        self.tlb.insert(set, KIND_4K | vpn.as_u64(), Payload { pfn: pfn.as_u64(), contiguity: 0 });
     }
 
     /// Looks up the 2 MB entry covering `vpn`, returning the frame for
@@ -175,8 +172,11 @@ impl SharedL2 {
         debug_assert!(head.is_aligned(HUGE_PAGE_PAGES));
         debug_assert!(head_pfn.is_aligned(HUGE_PAGE_PAGES));
         let set = self.set_2m(head);
-        self.tlb
-            .insert(set, KIND_2M | head.as_u64(), Payload { pfn: head_pfn.as_u64(), contiguity: 0 });
+        self.tlb.insert(
+            set,
+            KIND_2M | head.as_u64(),
+            Payload { pfn: head_pfn.as_u64(), contiguity: 0 },
+        );
     }
 
     /// Looks up the anchor entry for `vpn` under anchor distance
@@ -260,10 +260,7 @@ mod tests {
     fn huge_lookup_offsets_within_page() {
         let mut l2 = SharedL2::paper_default();
         l2.insert_2m(VirtPageNum::new(1024), PhysFrameNum::new(4096));
-        assert_eq!(
-            l2.lookup_2m(VirtPageNum::new(1024 + 100)),
-            Some(PhysFrameNum::new(4196))
-        );
+        assert_eq!(l2.lookup_2m(VirtPageNum::new(1024 + 100)), Some(PhysFrameNum::new(4196)));
         assert_eq!(l2.lookup_2m(VirtPageNum::new(2048)), None);
     }
 
@@ -285,13 +282,19 @@ mod tests {
         let mut fig6 = SharedL2::new(128, 8);
         let mut naive = SharedL2::new(128, 8);
         let d_log = 9u32; // distance 512
-        // 1024 consecutive anchors + immediate re-probe.
+                          // 1024 consecutive anchors + immediate re-probe.
         let mut fig6_present = 0;
         let mut naive_present = 0;
         for i in 0..1024u64 {
             let avpn = VirtPageNum::new(i << d_log);
             fig6.insert_anchor(avpn, PhysFrameNum::new(i), 512, d_log, AnchorIndexing::Fig6);
-            naive.insert_anchor(avpn, PhysFrameNum::new(i), 512, d_log, AnchorIndexing::NaiveLowBits);
+            naive.insert_anchor(
+                avpn,
+                PhysFrameNum::new(i),
+                512,
+                d_log,
+                AnchorIndexing::NaiveLowBits,
+            );
         }
         for i in 0..1024u64 {
             let vpn = VirtPageNum::new(i << d_log);
@@ -330,9 +333,7 @@ mod tests {
         l2.insert_anchor(VirtPageNum::new(64), PhysFrameNum::new(640), 8, 3, AnchorIndexing::Fig6);
         assert_eq!(l2.len(), 8, "anchor evicted a 4K way");
         assert_eq!(l2.lookup_4k(VirtPageNum::new(0)), None);
-        assert!(l2
-            .lookup_anchor(VirtPageNum::new(65), 3, AnchorIndexing::Fig6)
-            .is_some());
+        assert!(l2.lookup_anchor(VirtPageNum::new(65), 3, AnchorIndexing::Fig6).is_some());
     }
 
     #[test]

@@ -56,10 +56,18 @@ impl TranslationScheme for ThpScheme {
             AccessResult { path: TranslationPath::L1Hit, cycles: Cycles::ZERO, pfn: Some(pfn) }
         } else if let Some(pfn) = self.l2.lookup_4k(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if let Some(pfn) = self.l2.lookup_2m(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Huge2M);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else {
             let walk = self.walker.walk(&self.table, vpn);
             match walk.leaf {
@@ -72,9 +80,15 @@ impl TranslationScheme for ThpScheme {
                         PageSize::Giant1G => unreachable!("no 1GB leaves here"),
                     }
                     self.l1.insert(vpn, pfn, leaf.size);
-                    AccessResult { path: TranslationPath::Walk, cycles: walk.cycles, pfn: Some(pfn) }
+                    AccessResult {
+                        path: TranslationPath::Walk,
+                        cycles: walk.cycles,
+                        pfn: Some(pfn),
+                    }
                 }
-                None => AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None },
+                None => {
+                    AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None }
+                }
             }
         };
         self.stats.record(result);

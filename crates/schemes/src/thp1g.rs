@@ -16,7 +16,9 @@ use crate::shared_l2::SharedL2;
 use hytlb_mem::AddressSpaceMap;
 use hytlb_pagetable::{PageTable, PageWalker};
 use hytlb_tlb::{L1Tlb, SetAssocTlb};
-use hytlb_types::{Cycles, PageSize, PhysFrameNum, VirtAddr, VirtPageNum, GIANT_PAGE_PAGES, HUGE_PAGE_PAGES};
+use hytlb_types::{
+    Cycles, PageSize, PhysFrameNum, VirtAddr, VirtPageNum, GIANT_PAGE_PAGES, HUGE_PAGE_PAGES,
+};
 use std::sync::Arc;
 
 /// THP extended with 1 GB pages and their separate small L2 TLB.
@@ -87,9 +89,7 @@ impl Thp1GScheme {
     fn lookup_giant(&mut self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
         let head = vpn.align_down(GIANT_PAGE_PAGES);
         let set = self.giant_set(head);
-        self.giant
-            .lookup(set, head.as_u64())
-            .map(|&pfn| PhysFrameNum::new(pfn) + (vpn - head))
+        self.giant.lookup(set, head.as_u64()).map(|&pfn| PhysFrameNum::new(pfn) + (vpn - head))
     }
 }
 
@@ -104,14 +104,26 @@ impl TranslationScheme for Thp1GScheme {
             AccessResult { path: TranslationPath::L1Hit, cycles: Cycles::ZERO, pfn: Some(pfn) }
         } else if let Some(pfn) = self.l2.lookup_4k(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Base4K);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if let Some(pfn) = self.l2.lookup_2m(vpn) {
             self.l1.insert(vpn, pfn, PageSize::Huge2M);
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else if let Some(pfn) = self.lookup_giant(vpn) {
             // The separate 1 GB TLB is probed in parallel with the shared
             // L2; a hit costs the same 7 cycles.
-            AccessResult { path: TranslationPath::L2RegularHit, cycles: self.latency.l2_hit, pfn: Some(pfn) }
+            AccessResult {
+                path: TranslationPath::L2RegularHit,
+                cycles: self.latency.l2_hit,
+                pfn: Some(pfn),
+            }
         } else {
             let walk = self.walker.walk(&self.table, vpn);
             match walk.leaf {
@@ -126,9 +138,15 @@ impl TranslationScheme for Thp1GScheme {
                         }
                     }
                     self.l1.insert(vpn, pfn, leaf.size);
-                    AccessResult { path: TranslationPath::Walk, cycles: walk.cycles, pfn: Some(pfn) }
+                    AccessResult {
+                        path: TranslationPath::Walk,
+                        cycles: walk.cycles,
+                        pfn: Some(pfn),
+                    }
                 }
-                None => AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None },
+                None => {
+                    AccessResult { path: TranslationPath::Fault, cycles: walk.cycles, pfn: None }
+                }
             }
         };
         self.stats.record(result);

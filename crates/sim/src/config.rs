@@ -29,6 +29,11 @@ pub struct PaperConfig {
     /// scale; 3 = 8× smaller for quick runs). Footprints never drop below
     /// 2^13 pages so they always exceed the L2 reach.
     pub footprint_shift: u32,
+    /// Worker threads for the matrix driver
+    /// ([`matrix::run_matrix`](crate::matrix::run_matrix)). `None` defers
+    /// to the `HYTLB_THREADS` environment variable, then to the machine's
+    /// available parallelism. Never affects results, only wall-clock.
+    pub threads: Option<usize>,
 }
 
 impl Default for PaperConfig {
@@ -40,6 +45,7 @@ impl Default for PaperConfig {
             epoch_instructions: 1_000_000,
             seed: 42,
             footprint_shift: 0,
+            threads: None,
         }
     }
 }
@@ -68,6 +74,24 @@ impl PaperConfig {
     #[must_use]
     pub fn epoch_accesses(&self) -> u64 {
         ((self.epoch_instructions as f64 * self.mem_ops_per_instruction).round() as u64).max(1)
+    }
+
+    /// A fingerprint of every field that determines generated mappings and
+    /// traces (`seed`, `accesses`, `footprint_shift`). Two configs with the
+    /// same fingerprint generate bit-identical inputs, so matrix caches key
+    /// on it. Deliberately excludes fields that only shape measurement or
+    /// scheduling (latencies, epoch length, `threads`).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the generation-relevant fields.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [self.seed, self.accesses, u64::from(self.footprint_shift)] {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
     }
 }
 
@@ -136,7 +160,11 @@ impl SchemeKind {
 
     /// Builds the scheme over a mapping.
     #[must_use]
-    pub fn build(self, map: &Arc<AddressSpaceMap>, config: &PaperConfig) -> Box<dyn TranslationScheme> {
+    pub fn build(
+        self,
+        map: &Arc<AddressSpaceMap>,
+        config: &PaperConfig,
+    ) -> Box<dyn TranslationScheme> {
         let latency = config.latency;
         match self {
             SchemeKind::Baseline => Box::new(BaselineScheme::new(Arc::clone(map), latency)),
@@ -179,7 +207,10 @@ mod tests {
         assert_eq!(c.instructions(), 6_000_000);
         assert!(c.epoch_accesses() > 0);
         let q = PaperConfig::quick();
-        assert!(q.footprint_for(hytlb_trace::WorkloadKind::Gups) < c.footprint_for(hytlb_trace::WorkloadKind::Gups));
+        assert!(
+            q.footprint_for(hytlb_trace::WorkloadKind::Gups)
+                < c.footprint_for(hytlb_trace::WorkloadKind::Gups)
+        );
         assert!(q.footprint_for(hytlb_trace::WorkloadKind::Omnetpp) >= 1 << 13);
     }
 
@@ -194,7 +225,12 @@ mod tests {
     fn every_scheme_builds_and_translates() {
         let config = PaperConfig::quick();
         let map = Arc::new(Scenario::MediumContiguity.generate(2048, 7));
-        let mut kinds = vec![SchemeKind::AnchorStatic(16), SchemeKind::AnchorMultiRegion(4), SchemeKind::Colt, SchemeKind::Thp1G];
+        let mut kinds = vec![
+            SchemeKind::AnchorStatic(16),
+            SchemeKind::AnchorMultiRegion(4),
+            SchemeKind::Colt,
+            SchemeKind::Thp1G,
+        ];
         kinds.extend(SchemeKind::paper_set());
         for kind in kinds {
             let mut s = kind.build(&map, &config);

@@ -56,10 +56,15 @@ impl RunStats {
     }
 
     /// Misses relative to a baseline run, in percent (Figures 2 and 7–9).
+    ///
+    /// A baseline with zero walks has nothing to improve on, so such cells
+    /// report 100.0 (parity) rather than 0.0 — otherwise a scheme would
+    /// appear to eliminate misses that never existed and drag every
+    /// suite-level mean toward zero.
     #[must_use]
     pub fn relative_misses_pct(&self, baseline: &RunStats) -> f64 {
         if baseline.tlb_misses() == 0 {
-            return 0.0;
+            return 100.0;
         }
         self.tlb_misses() as f64 / baseline.tlb_misses() as f64 * 100.0
     }
@@ -69,7 +74,7 @@ impl RunStats {
 /// into virtual addresses of the mapping under test.
 pub struct Machine {
     scheme: Box<dyn TranslationScheme>,
-    index: PageIndex,
+    index: Arc<PageIndex>,
     config: PaperConfig,
 }
 
@@ -83,18 +88,45 @@ impl std::fmt::Debug for Machine {
 }
 
 impl Machine {
-    /// Builds a machine running `kind` over `map`.
+    /// Builds a machine running `kind` over `map`. The map is shared with
+    /// the scheme by reference count — no copy of the address-space data is
+    /// made, so a matrix of machines over one mapping costs one mapping.
     #[must_use]
-    pub fn for_scheme(kind: SchemeKind, map: &AddressSpaceMap, config: &PaperConfig) -> Self {
-        let map = Arc::new(map.clone());
-        Machine { scheme: kind.build(&map, config), index: map.page_index(), config: *config }
+    pub fn for_scheme(kind: SchemeKind, map: &Arc<AddressSpaceMap>, config: &PaperConfig) -> Self {
+        Machine {
+            scheme: kind.build(map, config),
+            index: Arc::new(map.page_index()),
+            config: *config,
+        }
+    }
+
+    /// Like [`Machine::for_scheme`], but reuses a pre-built [`PageIndex`]
+    /// as well, so every machine of a matrix cell shares both the mapping
+    /// and its placement index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was not built from `map` (detected by length).
+    #[must_use]
+    pub fn for_scheme_indexed(
+        kind: SchemeKind,
+        map: &Arc<AddressSpaceMap>,
+        index: &Arc<PageIndex>,
+        config: &PaperConfig,
+    ) -> Self {
+        assert_eq!(index.len(), map.mapped_pages(), "page index does not match the mapping");
+        Machine { scheme: kind.build(map, config), index: Arc::clone(index), config: *config }
     }
 
     /// Builds a machine around an existing scheme (used for ablations that
     /// construct schemes with custom configs).
     #[must_use]
-    pub fn from_scheme(scheme: Box<dyn TranslationScheme>, map: &AddressSpaceMap, config: &PaperConfig) -> Self {
-        Machine { scheme, index: map.page_index(), config: *config }
+    pub fn from_scheme(
+        scheme: Box<dyn TranslationScheme>,
+        map: &Arc<AddressSpaceMap>,
+        config: &PaperConfig,
+    ) -> Self {
+        Machine { scheme, index: Arc::new(map.page_index()), config: *config }
     }
 
     /// The underlying scheme.
@@ -137,7 +169,11 @@ impl Machine {
             let vpn = self.index.nth_page(page);
             let va = VirtAddr::new(vpn.base_addr().as_u64() + offset);
             let result = self.scheme.access(va);
-            debug_assert!(result.pfn.is_some(), "fault on a mapped-only trace at {va}");
+            // A fault here means the placement layer or a scheme's walk
+            // path is broken: traces only ever touch mapped pages. Checked
+            // in release builds too — a silent mistranslation would corrupt
+            // every figure downstream.
+            assert!(result.pfn.is_some(), "fault on a mapped-only trace at {va}");
             accesses += 1;
             since_epoch += 1;
             since_flush += 1;
@@ -188,7 +224,7 @@ mod tests {
     #[test]
     fn run_counts_accesses_and_cpi() {
         let config = quick();
-        let map = Scenario::MediumContiguity.generate(4096, 1);
+        let map = Arc::new(Scenario::MediumContiguity.generate(4096, 1));
         let mut m = Machine::for_scheme(SchemeKind::Baseline, &map, &config);
         let stats = m.run(WorkloadKind::Canneal.generator(4096, 1).take(20_000));
         assert_eq!(stats.accesses, 20_000);
@@ -201,7 +237,7 @@ mod tests {
     #[test]
     fn anchor_machine_reports_distance() {
         let config = quick();
-        let map = Scenario::LowContiguity.generate(4096, 2);
+        let map = Arc::new(Scenario::LowContiguity.generate(4096, 2));
         let mut m = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config);
         let stats = m.run(WorkloadKind::Gups.generator(4096, 2).take(5_000));
         let d = stats.anchor_distance.expect("anchor scheme has a distance");
@@ -212,7 +248,7 @@ mod tests {
     #[test]
     fn flush_period_increases_walks() {
         let config = quick();
-        let map = Scenario::MediumContiguity.generate(4096, 5);
+        let map = Arc::new(Scenario::MediumContiguity.generate(4096, 5));
         let trace: Vec<u64> = WorkloadKind::Canneal.generator(4096, 5).take(30_000).collect();
         let calm = Machine::for_scheme(SchemeKind::Baseline, &map, &config)
             .run_with_flush_period(trace.iter().copied(), u64::MAX);
@@ -225,7 +261,7 @@ mod tests {
     #[test]
     fn coalescing_recovers_faster_from_flushes() {
         let config = quick();
-        let map = Scenario::MediumContiguity.generate(8192, 6);
+        let map = Arc::new(Scenario::MediumContiguity.generate(8192, 6));
         let trace: Vec<u64> = WorkloadKind::Canneal.generator(8192, 6).take(50_000).collect();
         let walks = |kind| {
             Machine::for_scheme(kind, &map, &config)
@@ -238,11 +274,12 @@ mod tests {
     #[test]
     fn relative_misses_math() {
         let config = quick();
-        let map = Scenario::MaxContiguity.generate(1 << 13, 3);
+        let map = Arc::new(Scenario::MaxContiguity.generate(1 << 13, 3));
         let trace: Vec<u64> = WorkloadKind::Milc.generator(1 << 13, 3).take(30_000).collect();
-        let base = Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(trace.iter().copied());
-        let anchor =
-            Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(trace.iter().copied());
+        let base =
+            Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(trace.iter().copied());
+        let anchor = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config)
+            .run(trace.iter().copied());
         let rel = anchor.relative_misses_pct(&base);
         assert!(rel < 30.0, "anchor at {rel}% of baseline misses");
         assert!((base.relative_misses_pct(&base) - 100.0).abs() < 1e-9);

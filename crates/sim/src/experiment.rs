@@ -9,6 +9,7 @@ use crate::config::{PaperConfig, SchemeKind};
 use crate::engine::{Machine, RunStats};
 use hytlb_mem::{AddressSpaceMap, AllocationProfile, FragmentationLevel, Scenario};
 use hytlb_trace::WorkloadKind;
+use std::sync::Arc;
 
 /// Results of one workload under one scenario, across schemes.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -84,16 +85,22 @@ pub fn allocation_profile_for(workload: WorkloadKind) -> AllocationProfile {
     }
 }
 
-/// Generates the mapping a workload sees under a scenario.
+/// Generates the mapping a workload sees under a scenario. Returned
+/// shared, ready to be handed to any number of schemes without copying
+/// the address-space data.
 #[must_use]
-pub fn mapping_for(workload: WorkloadKind, scenario: Scenario, config: &PaperConfig) -> AddressSpaceMap {
+pub fn mapping_for(
+    workload: WorkloadKind,
+    scenario: Scenario,
+    config: &PaperConfig,
+) -> Arc<AddressSpaceMap> {
     let footprint = config.footprint_for(workload);
-    scenario.generate_profiled(
+    Arc::new(scenario.generate_profiled(
         footprint,
         cell_seed(config, workload, scenario),
         FragmentationLevel::Moderate,
         allocation_profile_for(workload),
-    )
+    ))
 }
 
 /// Generates the trace a workload replays (independent of the scenario,
@@ -120,9 +127,9 @@ pub fn run_cell(
 }
 
 /// Runs a full suite: every workload × every scheme under one scenario,
-/// sharing the mapping and trace across schemes. Workloads run on worker
-/// threads (every scheme is `Send`); results are identical to a serial
-/// run because each cell is deterministic.
+/// sharing the mapping and trace across schemes. Cells run on the matrix
+/// worker pool (see [`crate::matrix`]); results are bit-identical to
+/// [`run_suite_serial`] because each cell is deterministic.
 #[must_use]
 pub fn run_suite(
     scenario: Scenario,
@@ -130,30 +137,34 @@ pub fn run_suite(
     kinds: &[SchemeKind],
     config: &PaperConfig,
 ) -> SuiteResult {
-    let rows = std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|&workload| {
-                scope.spawn(move || {
-                    let map = mapping_for(workload, scenario, config);
-                    let trace = trace_for(workload, config);
-                    let runs = kinds
-                        .iter()
-                        .map(|&kind| {
-                            Machine::for_scheme(kind, &map, config).run(trace.iter().copied())
-                        })
-                        .collect();
-                    WorkloadRow { workload, runs }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("suite worker panicked")).collect()
-    });
-    SuiteResult {
-        scenario,
-        schemes: kinds.iter().map(|k| k.label()).collect(),
-        rows,
-    }
+    crate::matrix::run_matrix(&[scenario], workloads, kinds, config)
+        .pop()
+        .expect("one scenario in, one suite out")
+}
+
+/// The single-threaded reference implementation of [`run_suite`]: plain
+/// nested loops, no cache, no worker pool. The matrix driver is validated
+/// cell-for-cell against this.
+#[must_use]
+pub fn run_suite_serial(
+    scenario: Scenario,
+    workloads: &[WorkloadKind],
+    kinds: &[SchemeKind],
+    config: &PaperConfig,
+) -> SuiteResult {
+    let rows = workloads
+        .iter()
+        .map(|&workload| {
+            let map = mapping_for(workload, scenario, config);
+            let trace = trace_for(workload, config);
+            let runs = kinds
+                .iter()
+                .map(|&kind| Machine::for_scheme(kind, &map, config).run(trace.iter().copied()))
+                .collect();
+            WorkloadRow { workload, runs }
+        })
+        .collect();
+    SuiteResult { scenario, schemes: kinds.iter().map(|k| k.label()).collect(), rows }
 }
 
 /// The `Static Ideal` scheme: exhaustively sweeps anchor distances for one
@@ -173,7 +184,8 @@ pub fn static_ideal(
     candidates
         .iter()
         .map(|&d| {
-            Machine::for_scheme(SchemeKind::AnchorStatic(d), &map, config).run(trace.iter().copied())
+            Machine::for_scheme(SchemeKind::AnchorStatic(d), &map, config)
+                .run(trace.iter().copied())
         })
         .min_by_key(RunStats::tlb_misses)
         .expect("candidates nonempty")
@@ -218,8 +230,10 @@ mod tests {
     #[test]
     fn cells_are_reproducible() {
         let config = tiny();
-        let a = run_cell(WorkloadKind::Milc, Scenario::LowContiguity, SchemeKind::Baseline, &config);
-        let b = run_cell(WorkloadKind::Milc, Scenario::LowContiguity, SchemeKind::Baseline, &config);
+        let a =
+            run_cell(WorkloadKind::Milc, Scenario::LowContiguity, SchemeKind::Baseline, &config);
+        let b =
+            run_cell(WorkloadKind::Milc, Scenario::LowContiguity, SchemeKind::Baseline, &config);
         assert_eq!(a, b);
     }
 
@@ -236,7 +250,8 @@ mod tests {
     fn static_ideal_is_no_worse_than_any_candidate() {
         let config = tiny();
         let candidates = [4u64, 64, 4096];
-        let best = static_ideal(WorkloadKind::Canneal, Scenario::MediumContiguity, &candidates, &config);
+        let best =
+            static_ideal(WorkloadKind::Canneal, Scenario::MediumContiguity, &candidates, &config);
         for d in candidates {
             let run = run_cell(
                 WorkloadKind::Canneal,

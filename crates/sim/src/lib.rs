@@ -8,8 +8,13 @@
 //!   paper, each buildable against any mapping.
 //! * [`Machine`] — a scheme plus the logical-address placement layer;
 //!   drives a trace through the MMU and collects [`RunStats`].
-//! * [`experiment`] — the full evaluation matrix (workload × scenario ×
-//!   scheme), static-ideal sweeps, and Table 5/6 extraction.
+//! * [`experiment`] — the evaluation matrix building blocks (mapping and
+//!   trace generation, suites, static-ideal sweeps) plus the serial
+//!   reference driver.
+//! * [`matrix`] — the parallel, zero-copy matrix driver: memoized
+//!   mapping/trace generation and a bounded worker pool over every
+//!   (scenario, workload, scheme) cell, bit-identical to the serial
+//!   reference.
 //! * [`report`] — text renderers that print the same rows/series as the
 //!   paper's figures and tables, plus JSON output.
 //!
@@ -21,7 +26,7 @@
 //! use hytlb_trace::WorkloadKind;
 //!
 //! let config = PaperConfig::default();
-//! let map = Scenario::MediumContiguity.generate(4096, config.seed);
+//! let map = std::sync::Arc::new(Scenario::MediumContiguity.generate(4096, config.seed));
 //! let mut machine = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config);
 //! let trace = WorkloadKind::Canneal.generator(4096, config.seed).take(50_000);
 //! let stats = machine.run(trace);
@@ -35,7 +40,9 @@
 mod config;
 mod engine;
 pub mod experiment;
+pub mod matrix;
 pub mod report;
 
 pub use config::{PaperConfig, SchemeKind};
 pub use engine::{CpiBreakdown, Machine, RunStats};
+pub use matrix::{run_matrix, MatrixCache};

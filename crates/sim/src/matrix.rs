@@ -1,0 +1,342 @@
+//! Parallel, zero-copy evaluation-matrix driver.
+//!
+//! The paper's figures are all slices of one big matrix: *scenario ×
+//! workload × scheme* (plus a static-distance sweep for the `Static
+//! Ideal` column). The serial harness regenerated the mapping and the
+//! trace for every slice; this module generates each exactly once, shares
+//! them by reference count, and fans the cells out over a bounded worker
+//! pool.
+//!
+//! Guarantees:
+//!
+//! * **Bit-identical to serial.** Every cell is a pure function of
+//!   `(workload, scenario, scheme, config)`; the pool only changes *when*
+//!   a cell runs, never its inputs. [`run_matrix`] equals
+//!   [`run_suite_serial`](crate::experiment::run_suite_serial)
+//!   cell-for-cell, and the static-ideal fold replicates
+//!   [`static_ideal`](crate::experiment::static_ideal)'s first-minimum
+//!   tie-breaking.
+//! * **Exactly-once generation.** Mappings are keyed by `(workload,
+//!   scenario, config fingerprint)` and traces by `(workload,
+//!   fingerprint)` — traces are scenario-independent, like the paper's
+//!   Pin traces. Concurrent requests for the same key block on one
+//!   [`OnceLock`]; [`MatrixCache::stats`] exposes build counters so tests
+//!   can assert the exactly-once property.
+//! * **Zero per-scheme copies.** Each cell hands `Arc` clones of the
+//!   mapping and its [`PageIndex`] to the machine; no `AddressSpaceMap`
+//!   is ever deep-cloned.
+//!
+//! Worker count comes from [`PaperConfig::threads`], else the
+//! `HYTLB_THREADS` environment variable, else the machine's available
+//! parallelism.
+
+use crate::config::{PaperConfig, SchemeKind};
+use crate::engine::{Machine, RunStats};
+use crate::experiment::{mapping_for, trace_for, SuiteResult, WorkloadRow};
+use hytlb_mem::{AddressSpaceMap, PageIndex, Scenario};
+use hytlb_trace::WorkloadKind;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A mapping plus its placement index, shared across every scheme of a
+/// cell.
+#[derive(Debug, Clone)]
+pub struct SharedMapping {
+    /// The address-space map, shared with each scheme.
+    pub map: Arc<AddressSpaceMap>,
+    /// The logical-page placement index, shared with each machine.
+    pub index: Arc<PageIndex>,
+}
+
+/// Build counters for the memoization layer (see [`MatrixCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Mappings generated (one per distinct `(workload, scenario,
+    /// fingerprint)` requested).
+    pub mapping_builds: usize,
+    /// Traces generated (one per distinct `(workload, fingerprint)`
+    /// requested).
+    pub trace_builds: usize,
+}
+
+type MappingKey = (WorkloadKind, Scenario, u64);
+type TraceKey = (WorkloadKind, u64);
+type MemoTable<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
+/// Memoizes mapping and trace generation across matrix cells.
+///
+/// Cheap to create; hold one across several [`run_matrix_with`] calls to
+/// share inputs between figures that cover the same cells.
+#[derive(Debug, Default)]
+pub struct MatrixCache {
+    mappings: MemoTable<MappingKey, SharedMapping>,
+    traces: MemoTable<TraceKey, Arc<Vec<u64>>>,
+    mapping_builds: AtomicUsize,
+    trace_builds: AtomicUsize,
+}
+
+impl MatrixCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The mapping (and its page index) for a cell, generating it if this
+    /// is the first request for the key. Blocks if another worker is
+    /// already generating the same key, so generation happens exactly
+    /// once.
+    pub fn mapping(
+        &self,
+        workload: WorkloadKind,
+        scenario: Scenario,
+        config: &PaperConfig,
+    ) -> SharedMapping {
+        let key = (workload, scenario, config.fingerprint());
+        let slot = Arc::clone(
+            self.mappings.lock().expect("mapping table poisoned").entry(key).or_default(),
+        );
+        slot.get_or_init(|| {
+            self.mapping_builds.fetch_add(1, Ordering::Relaxed);
+            let map = mapping_for(workload, scenario, config);
+            let index = Arc::new(map.page_index());
+            SharedMapping { map, index }
+        })
+        .clone()
+    }
+
+    /// The trace a workload replays, generating it on first request.
+    /// Scenario-independent, exactly like the paper's per-benchmark Pin
+    /// traces.
+    pub fn trace(&self, workload: WorkloadKind, config: &PaperConfig) -> Arc<Vec<u64>> {
+        let key = (workload, config.fingerprint());
+        let slot =
+            Arc::clone(self.traces.lock().expect("trace table poisoned").entry(key).or_default());
+        Arc::clone(slot.get_or_init(|| {
+            self.trace_builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(trace_for(workload, config))
+        }))
+    }
+
+    /// How many mappings and traces this cache has generated so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mapping_builds: self.mapping_builds.load(Ordering::Relaxed),
+            trace_builds: self.trace_builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Resolves the worker-pool size: `config.threads`, else `HYTLB_THREADS`,
+/// else available parallelism. Always at least 1.
+#[must_use]
+pub fn worker_count(config: &PaperConfig) -> usize {
+    config
+        .threads
+        .or_else(|| std::env::var("HYTLB_THREADS").ok().and_then(|v| v.parse().ok()))
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Runs every `(scenario, workload, scheme)` cell of the matrix on a
+/// bounded worker pool, one suite per scenario in input order. Inputs are
+/// generated exactly once via a fresh [`MatrixCache`].
+#[must_use]
+pub fn run_matrix(
+    scenarios: &[Scenario],
+    workloads: &[WorkloadKind],
+    kinds: &[SchemeKind],
+    config: &PaperConfig,
+) -> Vec<SuiteResult> {
+    run_matrix_with(&MatrixCache::new(), scenarios, workloads, kinds, config)
+}
+
+/// [`run_matrix`] against a caller-owned cache, so consecutive matrices
+/// (e.g. several figures in one process) reuse mappings and traces.
+#[must_use]
+pub fn run_matrix_with(
+    cache: &MatrixCache,
+    scenarios: &[Scenario],
+    workloads: &[WorkloadKind],
+    kinds: &[SchemeKind],
+    config: &PaperConfig,
+) -> Vec<SuiteResult> {
+    let cells: Vec<(usize, usize, usize)> = (0..scenarios.len())
+        .flat_map(|s| {
+            (0..workloads.len()).flat_map(move |w| (0..kinds.len()).map(move |k| (s, w, k)))
+        })
+        .collect();
+    let results = run_cells(cache, &cells, scenarios, workloads, kinds, config);
+
+    let mut results = results.into_iter();
+    scenarios
+        .iter()
+        .map(|&scenario| SuiteResult {
+            scenario,
+            schemes: kinds.iter().map(|k| k.label()).collect(),
+            rows: workloads
+                .iter()
+                .map(|&workload| WorkloadRow {
+                    workload,
+                    runs: (0..kinds.len())
+                        .map(|_| results.next().expect("one run per cell"))
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// [`run_matrix_with`] plus a trailing `Static Ideal` column: the sweep's
+/// `AnchorStatic` candidates join the scheme dimension of the pool, and
+/// each cell's winner is folded out afterwards with the same
+/// first-minimum tie-breaking as
+/// [`static_ideal`](crate::experiment::static_ideal).
+///
+/// # Panics
+///
+/// Panics if `sweep` is empty.
+#[must_use]
+pub fn run_matrix_with_static_ideal(
+    cache: &MatrixCache,
+    scenarios: &[Scenario],
+    workloads: &[WorkloadKind],
+    kinds: &[SchemeKind],
+    sweep: &[u64],
+    config: &PaperConfig,
+) -> Vec<SuiteResult> {
+    assert!(!sweep.is_empty(), "need at least one candidate distance");
+    let mut all_kinds: Vec<SchemeKind> = kinds.to_vec();
+    all_kinds.extend(sweep.iter().map(|&d| SchemeKind::AnchorStatic(d)));
+    let mut suites = run_matrix_with(cache, scenarios, workloads, &all_kinds, config);
+    for suite in &mut suites {
+        suite.schemes.truncate(kinds.len());
+        suite.schemes.push("Static Ideal".to_owned());
+        for row in &mut suite.rows {
+            let candidates = row.runs.split_off(kinds.len());
+            let best =
+                candidates.into_iter().min_by_key(RunStats::tlb_misses).expect("sweep nonempty");
+            row.runs.push(best);
+        }
+    }
+    suites
+}
+
+/// Runs the given cells on the worker pool and returns one [`RunStats`]
+/// per cell, in input order.
+fn run_cells(
+    cache: &MatrixCache,
+    cells: &[(usize, usize, usize)],
+    scenarios: &[Scenario],
+    workloads: &[WorkloadKind],
+    kinds: &[SchemeKind],
+    config: &PaperConfig,
+) -> Vec<RunStats> {
+    let slots: Vec<OnceLock<RunStats>> = cells.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let threads = worker_count(config).min(cells.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(s, w, k)) = cells.get(i) else { break };
+                let shared = cache.mapping(workloads[w], scenarios[s], config);
+                let trace = cache.trace(workloads[w], config);
+                let run = Machine::for_scheme_indexed(kinds[k], &shared.map, &shared.index, config)
+                    .run(trace.iter().copied());
+                slots[i].set(run).expect("each cell claimed once");
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.into_inner().expect("pool ran every cell")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::run_suite_serial;
+
+    fn tiny() -> PaperConfig {
+        PaperConfig { accesses: 8_000, footprint_shift: 5, ..PaperConfig::default() }
+    }
+
+    #[test]
+    fn matrix_matches_serial_reference() {
+        let config = PaperConfig { threads: Some(4), ..tiny() };
+        let scenarios = [Scenario::LowContiguity, Scenario::MaxContiguity];
+        let workloads = [WorkloadKind::Gups, WorkloadKind::Omnetpp];
+        let kinds = [SchemeKind::Baseline, SchemeKind::Thp, SchemeKind::AnchorDynamic];
+        let parallel = run_matrix(&scenarios, &workloads, &kinds, &config);
+        let serial: Vec<SuiteResult> =
+            scenarios.iter().map(|&s| run_suite_serial(s, &workloads, &kinds, &config)).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn cache_generates_inputs_exactly_once() {
+        let config = PaperConfig { threads: Some(8), ..tiny() };
+        let cache = MatrixCache::new();
+        let scenarios = [Scenario::LowContiguity, Scenario::HighContiguity];
+        let workloads = [WorkloadKind::Gups, WorkloadKind::Mcf];
+        let kinds = [SchemeKind::Baseline, SchemeKind::Rmm];
+        let _ = run_matrix_with(&cache, &scenarios, &workloads, &kinds, &config);
+        let stats = cache.stats();
+        assert_eq!(stats.mapping_builds, scenarios.len() * workloads.len());
+        assert_eq!(stats.trace_builds, workloads.len());
+        // A second matrix over the same cells generates nothing new.
+        let _ = run_matrix_with(&cache, &scenarios, &workloads, &kinds, &config);
+        assert_eq!(cache.stats(), stats);
+    }
+
+    #[test]
+    fn static_ideal_column_matches_serial_fold() {
+        let config = PaperConfig { threads: Some(4), ..tiny() };
+        let sweep = [4u64, 64, 4096];
+        let kinds = [SchemeKind::Baseline, SchemeKind::AnchorDynamic];
+        let suites = run_matrix_with_static_ideal(
+            &MatrixCache::new(),
+            &[Scenario::MediumContiguity],
+            &[WorkloadKind::Canneal],
+            &kinds,
+            &sweep,
+            &config,
+        );
+        assert_eq!(suites.len(), 1);
+        let suite = &suites[0];
+        assert_eq!(suite.schemes, ["Base", "Dynamic", "Static Ideal"]);
+        let best = crate::experiment::static_ideal(
+            WorkloadKind::Canneal,
+            Scenario::MediumContiguity,
+            &sweep,
+            &config,
+        );
+        assert_eq!(suite.rows[0].runs[2], best);
+    }
+
+    #[test]
+    fn worker_count_resolution_order() {
+        let mut config = tiny();
+        config.threads = Some(3);
+        assert_eq!(worker_count(&config), 3);
+        config.threads = Some(0); // nonsense values fall through
+        assert!(worker_count(&config) >= 1);
+        config.threads = None;
+        assert!(worker_count(&config) >= 1);
+    }
+
+    #[test]
+    fn single_thread_pool_still_covers_all_cells() {
+        let config = PaperConfig { threads: Some(1), ..tiny() };
+        let suites = run_matrix(
+            &[Scenario::EagerPaging],
+            &[WorkloadKind::Milc],
+            &[SchemeKind::Baseline, SchemeKind::Cluster],
+            &config,
+        );
+        assert_eq!(suites[0].rows[0].runs.len(), 2);
+        assert_eq!(suites[0].rows[0].runs[0].accesses, config.accesses);
+    }
+}

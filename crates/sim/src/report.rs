@@ -56,21 +56,14 @@ pub fn relative_miss_table(suite: &SuiteResult) -> String {
         .iter()
         .map(|row| {
             let base = &row.runs[0];
-            let cells = row
-                .runs
-                .iter()
-                .map(|r| format!("{:.1}", r.relative_misses_pct(base)))
-                .collect();
+            let cells =
+                row.runs.iter().map(|r| format!("{:.1}", r.relative_misses_pct(base))).collect();
             (row.workload.label().to_owned(), cells)
         })
         .collect();
     let means = suite.mean_relative_misses();
     rows.push(("mean".to_owned(), means.iter().map(|m| format!("{m:.1}")).collect()));
-    render_table(
-        &format!("rel.misses% [{}]", suite.scenario.label()),
-        &suite.schemes,
-        &rows,
-    )
+    render_table(&format!("rel.misses% [{}]", suite.scenario.label()), &suite.schemes, &rows)
 }
 
 /// Table 5-style L2 access breakdown for one scheme column of a suite:
@@ -98,11 +91,7 @@ pub fn l2_breakdown_table(suite: &SuiteResult, scheme_index: usize) -> String {
         })
         .collect();
     render_table(
-        &format!(
-            "L2 breakdown [{} / {}]",
-            suite.scenario.label(),
-            suite.schemes[scheme_index]
-        ),
+        &format!("L2 breakdown [{} / {}]", suite.scenario.label(), suite.schemes[scheme_index]),
         &cols,
         &rows,
     )
@@ -129,9 +118,8 @@ pub fn distance_table(suites: &[&SuiteResult], scheme_index: usize) -> String {
                 .iter()
                 .map(|s| {
                     assert_eq!(s.rows[i].workload, row.workload, "suites must align");
-                    let d = s.rows[i].runs[scheme_index]
-                        .anchor_distance
-                        .expect("anchor scheme column");
+                    let d =
+                        s.rows[i].runs[scheme_index].anchor_distance.expect("anchor scheme column");
                     format_distance(d)
                 })
                 .collect();

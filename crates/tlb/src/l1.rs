@@ -71,9 +71,7 @@ impl L1Tlb {
         }
         let head = vpn.align_down(HUGE_PAGE_PAGES);
         let set = self.huge_set(head);
-        self.huge
-            .lookup(set, head.as_u64())
-            .map(|e| e.head_pfn + (vpn - head))
+        self.huge.lookup(set, head.as_u64()).map(|e| e.head_pfn + (vpn - head))
     }
 
     /// Installs a translation. For [`PageSize::Huge2M`], `vpn`/`pfn` may be

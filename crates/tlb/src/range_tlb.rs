@@ -97,13 +97,10 @@ impl RangeTlb {
     pub fn lookup(&mut self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries
-            .iter_mut()
-            .find(|(e, _)| e.covers(vpn))
-            .map(|(e, stamp)| {
-                *stamp = tick;
-                e.translate(vpn)
-            })
+        self.entries.iter_mut().find(|(e, _)| e.covers(vpn)).map(|(e, stamp)| {
+            *stamp = tick;
+            e.translate(vpn)
+        })
     }
 
     /// Inserts a range, evicting the LRU entry when full. A range equal to
@@ -142,11 +139,7 @@ mod tests {
     use super::*;
 
     fn range(start: u64, pfn: u64, len: u64) -> RangeEntry {
-        RangeEntry {
-            start_vpn: VirtPageNum::new(start),
-            start_pfn: PhysFrameNum::new(pfn),
-            len,
-        }
+        RangeEntry { start_vpn: VirtPageNum::new(start), start_pfn: PhysFrameNum::new(pfn), len }
     }
 
     #[test]

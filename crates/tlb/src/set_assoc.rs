@@ -34,11 +34,7 @@ impl<P> SetAssocTlb<P> {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "associativity must be at least 1");
-        SetAssocTlb {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
-            ways,
-            tick: 0,
-        }
+        SetAssocTlb { sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(), ways, tick: 0 }
     }
 
     /// Number of sets.
@@ -113,10 +109,7 @@ impl<P> SetAssocTlb<P> {
             ways.push(Way { tag, payload, stamp: tick });
             return None;
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| w.stamp)
-            .expect("set is full, hence nonempty");
+        let victim = ways.iter_mut().min_by_key(|w| w.stamp).expect("set is full, hence nonempty");
         let old_tag = victim.tag;
         let old_payload = std::mem::replace(&mut victim.payload, payload);
         victim.tag = tag;

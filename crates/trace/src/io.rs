@@ -64,8 +64,8 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<(String, u64, u64, Vec<u
     reader.read_exact(&mut len)?;
     let mut head = vec![0u8; u32::from_le_bytes(len) as usize];
     reader.read_exact(&mut head)?;
-    let header: Header = serde_json::from_slice(&head)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let header: Header =
+        serde_json::from_slice(&head).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let mut addresses = Vec::with_capacity(header.accesses as usize);
     let mut buf = [0u8; 8];
     for _ in 0..header.accesses {

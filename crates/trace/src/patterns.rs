@@ -89,9 +89,7 @@ impl TraceGenerator {
         let cursors = match &pattern {
             AccessPattern::Streams { streams } => {
                 // Spread stream starting points evenly over the footprint.
-                (0..*streams)
-                    .map(|i| i as u64 * footprint_pages / *streams as u64)
-                    .collect()
+                (0..*streams).map(|i| i as u64 * footprint_pages / *streams as u64).collect()
             }
             AccessPattern::Chase { .. } => vec![rng.gen_range(0..footprint_pages)],
             AccessPattern::Bfs { .. } => vec![0],
@@ -182,10 +180,7 @@ mod tests {
     use std::collections::HashSet;
 
     fn pages(pattern: AccessPattern, n: u64, take: usize) -> Vec<u64> {
-        TraceGenerator::new(pattern, n, 1, 2)
-            .take(take)
-            .map(|a| a / PAGE_SIZE as u64)
-            .collect()
+        TraceGenerator::new(pattern, n, 1, 2).take(take).map(|a| a / PAGE_SIZE as u64).collect()
     }
 
     #[test]
@@ -221,11 +216,8 @@ mod tests {
 
     #[test]
     fn hot_cold_concentrates_accesses() {
-        let ps = pages(
-            AccessPattern::HotCold { hot_fraction: 0.1, hot_probability: 0.9 },
-            1000,
-            20_000,
-        );
+        let ps =
+            pages(AccessPattern::HotCold { hot_fraction: 0.1, hot_probability: 0.9 }, 1000, 20_000);
         let hot = ps.iter().filter(|&&p| p < 100).count();
         assert!(hot as f64 > 0.85 * ps.len() as f64, "hot share {}", hot as f64 / ps.len() as f64);
     }

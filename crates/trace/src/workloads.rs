@@ -11,7 +11,9 @@
 use crate::patterns::{AccessPattern, TraceGenerator};
 
 /// One benchmark of the evaluation suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[allow(missing_docs)] // variants are benchmark names; the table below documents them
 pub enum WorkloadKind {
     AstarBiglake,

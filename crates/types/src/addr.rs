@@ -101,10 +101,7 @@ macro_rules! addr_common {
 
 addr_common!(VirtAddr, "A byte address in a process virtual address space.");
 addr_common!(PhysAddr, "A byte address in physical memory.");
-addr_common!(
-    VirtPageNum,
-    "A virtual page number (virtual address divided by the 4 KB page size)."
-);
+addr_common!(VirtPageNum, "A virtual page number (virtual address divided by the 4 KB page size).");
 addr_common!(
     PhysFrameNum,
     "A physical frame number (physical address divided by the 4 KB page size)."
@@ -199,10 +196,7 @@ mod tests {
         let va = VirtAddr::new(0x1234_5678);
         assert_eq!(va.page_number(), VirtPageNum::new(0x12345));
         assert_eq!(va.page_offset(), 0x678);
-        assert_eq!(
-            va.page_number().base_addr().as_u64() + va.page_offset() as u64,
-            va.as_u64()
-        );
+        assert_eq!(va.page_number().base_addr().as_u64() + va.page_offset() as u64, va.as_u64());
     }
 
     #[test]

@@ -18,7 +18,17 @@ use core::ops::{Add, AddAssign, Mul};
 /// assert_eq!(total.per_instruction(57), 1.0);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Cycles(u64);
 
@@ -124,10 +134,7 @@ mod tests {
 
     #[test]
     fn saturating_add_does_not_wrap() {
-        assert_eq!(
-            Cycles::new(u64::MAX).saturating_add(Cycles::new(10)),
-            Cycles::new(u64::MAX)
-        );
+        assert_eq!(Cycles::new(u64::MAX).saturating_add(Cycles::new(10)), Cycles::new(u64::MAX));
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub const PTES_PER_CACHE_BLOCK: usize = 8;
 /// 1 GB pages — which x86-64 serves from "a separate and smaller 1GB page
 /// L2 TLB" (§2.1) — are modelled as well for the page-size-scalability
 /// extension experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum PageSize {
     /// Base 4 KB page.
     Base4K,

@@ -100,10 +100,7 @@ mod tests {
     fn display_is_ls_style() {
         assert_eq!(Permissions::READ_WRITE.to_string(), "rw-");
         assert_eq!(Permissions::NONE.to_string(), "---");
-        assert_eq!(
-            (Permissions::READ | Permissions::EXECUTE).to_string(),
-            "r-x"
-        );
+        assert_eq!((Permissions::READ | Permissions::EXECUTE).to_string(), "r-x");
         assert_eq!(format!("{:?}", Permissions::READ), "Permissions(r--)");
     }
 

@@ -17,11 +17,7 @@ use hytlb::sim::Machine;
 use hytlb::trace::WorkloadKind;
 
 fn main() {
-    let config = PaperConfig {
-        accesses: 300_000,
-        footprint_shift: 3,
-        ..PaperConfig::default()
-    };
+    let config = PaperConfig { accesses: 300_000, footprint_shift: 3, ..PaperConfig::default() };
     let workload = WorkloadKind::Mcf;
     let scenario = Scenario::MediumContiguity;
     let map = mapping_for(workload, scenario, &config);
@@ -47,8 +43,8 @@ fn main() {
     }
     let selected = selector.select(&hist);
     println!("\nAlgorithm 1 selects d = {selected}; the measured best is d = {}.", best.0);
-    let selected_run =
-        Machine::for_scheme(SchemeKind::AnchorStatic(selected), &map, &config).run(trace.iter().copied());
+    let selected_run = Machine::for_scheme(SchemeKind::AnchorStatic(selected), &map, &config)
+        .run(trace.iter().copied());
     println!(
         "misses at selected vs best: {} vs {} ({:+.1}%)",
         selected_run.tlb_misses(),

@@ -16,11 +16,7 @@ use hytlb::sim::experiment::run_suite;
 use hytlb::trace::WorkloadKind;
 
 fn main() {
-    let config = PaperConfig {
-        accesses: 200_000,
-        footprint_shift: 3,
-        ..PaperConfig::default()
-    };
+    let config = PaperConfig { accesses: 200_000, footprint_shift: 3, ..PaperConfig::default() };
     let kinds = [
         SchemeKind::Baseline,
         SchemeKind::Thp,

@@ -11,7 +11,7 @@ fn main() {
     // 1. An OS mapping: 256 MB allocated with medium fragmentation
     //    (contiguous chunks of 1-512 pages, Table 4 of the paper).
     let footprint_pages = 64 * 1024;
-    let mapping = Scenario::MediumContiguity.generate(footprint_pages, 42);
+    let mapping = std::sync::Arc::new(Scenario::MediumContiguity.generate(footprint_pages, 42));
     println!(
         "mapping: {} pages in {} contiguous chunks (mean {:.1} pages/chunk)",
         mapping.mapped_pages(),
@@ -21,32 +21,23 @@ fn main() {
 
     // 2. A workload: canneal-style hot/cold accesses over that footprint.
     let config = PaperConfig::default();
-    let trace: Vec<u64> = WorkloadKind::Canneal
-        .generator(footprint_pages, config.seed)
-        .take(500_000)
-        .collect();
+    let trace: Vec<u64> =
+        WorkloadKind::Canneal.generator(footprint_pages, config.seed).take(500_000).collect();
 
     // 3. Run the paper's hybrid coalescing (dynamic anchor distance) and
     //    the baseline over the identical trace.
-    let base = Machine::for_scheme(SchemeKind::Baseline, &mapping, &config).run(trace.iter().copied());
-    let anchor =
-        Machine::for_scheme(SchemeKind::AnchorDynamic, &mapping, &config).run(trace.iter().copied());
+    let base =
+        Machine::for_scheme(SchemeKind::Baseline, &mapping, &config).run(trace.iter().copied());
+    let anchor = Machine::for_scheme(SchemeKind::AnchorDynamic, &mapping, &config)
+        .run(trace.iter().copied());
 
     println!("\n              walks (TLB misses)   translation CPI");
     for run in [&base, &anchor] {
-        println!(
-            "{:<12}  {:>20}   {:>15.4}",
-            run.scheme,
-            run.tlb_misses(),
-            run.translation_cpi()
-        );
+        println!("{:<12}  {:>20}   {:>15.4}", run.scheme, run.tlb_misses(), run.translation_cpi());
     }
     println!(
         "\nanchor distance selected by Algorithm 1: {} pages",
         anchor.anchor_distance.expect("anchor scheme reports a distance")
     );
-    println!(
-        "misses relative to baseline: {:.1}%",
-        anchor.relative_misses_pct(&base)
-    );
+    println!("misses relative to baseline: {:.1}%", anchor.relative_misses_pct(&base));
 }

@@ -18,17 +18,9 @@ fn main() {
         let names: Vec<_> = WorkloadKind::all().iter().map(|w| w.label()).collect();
         panic!("unknown workload {label}; choose one of {names:?}")
     });
-    let config = PaperConfig {
-        accesses: 300_000,
-        footprint_shift: 3,
-        ..PaperConfig::default()
-    };
+    let config = PaperConfig { accesses: 300_000, footprint_shift: 3, ..PaperConfig::default() };
     let kinds = SchemeKind::paper_set();
-    for scenario in [
-        Scenario::DemandPaging,
-        Scenario::MediumContiguity,
-        Scenario::MaxContiguity,
-    ] {
+    for scenario in [Scenario::DemandPaging, Scenario::MediumContiguity, Scenario::MaxContiguity] {
         let suite = run_suite(scenario, &[workload], &kinds, &config);
         println!("{}", relative_miss_table(&suite));
         // The Dynamic column is last in the paper set.

@@ -17,19 +17,8 @@ fn main() -> std::io::Result<()> {
     // 1. "Pin capture": materialize the access trace once.
     let addresses: Vec<u64> = workload.generator(footprint, seed).take(200_000).collect();
     let path = std::env::temp_dir().join("hytlb_mcf.trace");
-    write_trace(
-        std::fs::File::create(&path)?,
-        workload.label(),
-        footprint,
-        seed,
-        &addresses,
-    )?;
-    println!(
-        "captured {} accesses of {} to {}",
-        addresses.len(),
-        workload,
-        path.display()
-    );
+    write_trace(std::fs::File::create(&path)?, workload.label(), footprint, seed, &addresses)?;
+    println!("captured {} accesses of {} to {}", addresses.len(), workload, path.display());
 
     // 2. Replay the stored trace against three different mappings.
     let (name, fp, _, replay) = read_trace(std::fs::File::open(&path)?)?;
@@ -37,16 +26,12 @@ fn main() -> std::io::Result<()> {
     let config = PaperConfig::default();
     println!("\nreplaying {name}:");
     println!("{:<10} {:>12} {:>12}", "scenario", "base walks", "anchor walks");
-    for scenario in [
-        Scenario::LowContiguity,
-        Scenario::MediumContiguity,
-        Scenario::MaxContiguity,
-    ] {
-        let map = scenario.generate(footprint, 3);
+    for scenario in [Scenario::LowContiguity, Scenario::MediumContiguity, Scenario::MaxContiguity] {
+        let map = std::sync::Arc::new(scenario.generate(footprint, 3));
         let base =
             Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(replay.iter().copied());
-        let anchor =
-            Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(replay.iter().copied());
+        let anchor = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config)
+            .run(replay.iter().copied());
         println!(
             "{:<10} {:>12} {:>12}   (d = {})",
             scenario.label(),

@@ -43,7 +43,8 @@ fn main() {
     let mut workload = WorkloadKind::Canneal;
     let mut scenario = Scenario::MediumContiguity;
     let mut scheme = SchemeKind::AnchorDynamic;
-    let mut config = PaperConfig { accesses: 1_000_000, footprint_shift: 2, ..PaperConfig::default() };
+    let mut config =
+        PaperConfig { accesses: 1_000_000, footprint_shift: 2, ..PaperConfig::default() };
     let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,11 +52,10 @@ fn main() {
         match arg.as_str() {
             "--list" => {
                 println!("workloads: {}", WorkloadKind::all().map(|w| w.label()).join(" "));
+                println!("scenarios: {}", Scenario::all().map(|s| s.label()).join(" "));
                 println!(
-                    "scenarios: {}",
-                    Scenario::all().map(|s| s.label()).join(" ")
+                    "schemes:   base thp cluster cluster-2mb colt rmm dynamic regions anchor-d<N>"
                 );
-                println!("schemes:   base thp cluster cluster-2mb colt rmm dynamic regions anchor-d<N>");
                 return;
             }
             "--workload" => {
@@ -72,7 +72,9 @@ fn main() {
             }
             "--accesses" => config.accesses = value(&mut args).parse().unwrap_or_else(|_| usage()),
             "--seed" => config.seed = value(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--shift" => config.footprint_shift = value(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--shift" => {
+                config.footprint_shift = value(&mut args).parse().unwrap_or_else(|_| usage())
+            }
             "--json" => json = true,
             _ => usage(),
         }

@@ -29,7 +29,7 @@
 //!
 //! // Map 64 MB with medium fragmentation, then run a small random workload
 //! // through the anchor scheme.
-//! let mapping = Scenario::MediumContiguity.generate(16 * 1024, 42);
+//! let mapping = std::sync::Arc::new(Scenario::MediumContiguity.generate(16 * 1024, 42));
 //! let config = PaperConfig::default();
 //! let mut machine = Machine::for_scheme(SchemeKind::AnchorDynamic, &mapping, &config);
 //! let trace = WorkloadKind::Gups.generator(16 * 1024, 7).take(10_000);

@@ -9,11 +9,7 @@ use hytlb::sim::experiment::run_suite;
 use hytlb::trace::WorkloadKind;
 
 fn config() -> PaperConfig {
-    PaperConfig {
-        accesses: 60_000,
-        footprint_shift: 4,
-        ..PaperConfig::default()
-    }
+    PaperConfig { accesses: 60_000, footprint_shift: 4, ..PaperConfig::default() }
 }
 
 /// A representative sub-suite (one workload per access-pattern archetype)
@@ -75,7 +71,8 @@ fn prior_schemes_have_their_published_failure_modes() {
 fn selected_distances_track_contiguity_regimes() {
     let config = config();
     let d_for = |scenario| {
-        let suite = run_suite(scenario, &[WorkloadKind::Canneal], &[SchemeKind::AnchorDynamic], &config);
+        let suite =
+            run_suite(scenario, &[WorkloadKind::Canneal], &[SchemeKind::AnchorDynamic], &config);
         suite.rows[0].runs[0].anchor_distance.expect("anchor run")
     };
     let low = d_for(Scenario::LowContiguity);
@@ -98,7 +95,8 @@ fn anchor_coverage_scales_beyond_hw_coalescing() {
         &config,
     );
     let runs = &suite.rows[0].runs;
-    let (cluster, colt, anchor) = (runs[0].tlb_misses(), runs[1].tlb_misses(), runs[2].tlb_misses());
+    let (cluster, colt, anchor) =
+        (runs[0].tlb_misses(), runs[1].tlb_misses(), runs[2].tlb_misses());
     assert!(anchor * 10 <= colt.max(1), "anchor {anchor} vs CoLT {colt}");
     assert!(anchor <= cluster, "anchor {anchor} vs cluster {cluster}");
 }

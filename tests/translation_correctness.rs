@@ -15,11 +15,7 @@ fn all_kinds() -> Vec<SchemeKind> {
 }
 
 fn tiny_config() -> PaperConfig {
-    PaperConfig {
-        accesses: 5_000,
-        footprint_shift: 6,
-        ..PaperConfig::default()
-    }
+    PaperConfig { accesses: 5_000, footprint_shift: 6, ..PaperConfig::default() }
 }
 
 #[test]
@@ -28,7 +24,7 @@ fn every_scheme_translates_correctly_on_every_scenario() {
     for scenario in Scenario::all() {
         let map = mapping_for(WorkloadKind::Canneal, scenario, &config);
         for kind in all_kinds() {
-            let mut scheme = kind.build(&std::sync::Arc::new(map.clone()), &config);
+            let mut scheme = kind.build(&map, &config);
             for (vpn, pfn) in map.iter_pages().step_by(7) {
                 let got = scheme.access(vpn.base_addr()).pfn;
                 assert_eq!(got, Some(pfn), "{kind} mistranslated {vpn} under {scenario}");
@@ -47,8 +43,10 @@ fn machine_runs_agree_with_direct_scheme_access() {
     let config = tiny_config();
     let map = mapping_for(WorkloadKind::Milc, Scenario::MediumContiguity, &config);
     let trace = trace_for(WorkloadKind::Milc, &config);
-    let run_a = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(trace.iter().copied());
-    let run_b = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(trace.iter().copied());
+    let run_a =
+        Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(trace.iter().copied());
+    let run_b =
+        Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(trace.iter().copied());
     assert_eq!(run_a, run_b, "simulation must be deterministic");
     assert_eq!(run_a.accesses, config.accesses);
 }
@@ -92,11 +90,7 @@ fn anchor_never_loses_to_itself_across_epochs() {
 #[test]
 fn paper_set_ordering_on_extreme_scenarios() {
     // The coarse shape of Figure 9's two extreme columns.
-    let config = PaperConfig {
-        accesses: 40_000,
-        footprint_shift: 5,
-        ..PaperConfig::default()
-    };
+    let config = PaperConfig { accesses: 40_000, footprint_shift: 5, ..PaperConfig::default() };
     let suite = hytlb::sim::experiment::run_suite(
         Scenario::MaxContiguity,
         &[WorkloadKind::Milc, WorkloadKind::Canneal],

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking API subset this workspace uses —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a simple wall-clock measurement loop: a warm-up
+//! iteration, then `sample_size` timed samples, reporting min / median /
+//! mean per benchmark to stdout.
+//!
+//! No statistical analysis, plotting or saved baselines; the goal is that
+//! `cargo bench` runs offline and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Compatibility hook: the real crate parses CLI arguments here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Compatibility hook: flushes reports in the real crate.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Throughput annotation (printed next to timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report_grouped(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report_grouped(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Ends the group (prints nothing extra in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, samples: Vec::new() }
+    }
+
+    /// Runs `routine` once for warm-up and `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+
+    fn stats(&self) -> (Duration, Duration, Duration) {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted.first().copied().unwrap_or_default();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let mean =
+            sorted.iter().sum::<Duration>().checked_div(sorted.len() as u32).unwrap_or_default();
+        (min, median, mean)
+    }
+
+    fn report(&self, name: &str) {
+        self.report_grouped("", name, None);
+    }
+
+    fn report_grouped(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        let (min, median, mean) = self.stats();
+        let label = if group.is_empty() { id.to_owned() } else { format!("{group}/{id}") };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                if per_sec >= 1e6 {
+                    format!("  {:.1} Melem/s", per_sec / 1e6)
+                } else if per_sec >= 1e3 {
+                    format!("  {:.1} Kelem/s", per_sec / 1e3)
+                } else {
+                    format!("  {per_sec:.1} elem/s")
+                }
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!("  {:.1} MiB/s", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {label:<50} min {min:>10.3?}  median {median:>10.3?}  mean {mean:>10.3?}{rate}"
+        );
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| black_box(2u64 + 2));
+        assert_eq!(b.samples.len(), 5);
+        let (min, median, mean) = b.stats();
+        assert!(min <= median && median <= mean.max(median));
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * 2
+                });
+            });
+            g.finish();
+        }
+        // One warm-up + two samples.
+        assert_eq!(calls, 3);
+        c.bench_function("single", |b| b.iter(|| 1u64));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("Base").to_string(), "Base");
+    }
+}

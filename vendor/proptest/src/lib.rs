@@ -1,0 +1,397 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the property-testing API subset this workspace uses —
+//! [`Strategy`] over ranges, tuples, `prop_map`, weighted
+//! [`prop_oneof!`], [`collection::vec`], [`any`], [`Just`] and the
+//! [`proptest!`] macro — driven by the in-workspace `rand` crate.
+//!
+//! Differences from crates-io proptest: failures are reported by the
+//! standard panic machinery without input shrinking, and case generation
+//! is deterministic per test function (seeded from the case index), so
+//! failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Re-exports matching `proptest::prelude::*` as used in this workspace.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for one test case: seeded from the property name and case
+    /// index so every case is independent and reproducible.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        TestRng(SmallRng::seed_from_u64(
+            name_hash ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    /// Uniform sample from a range (delegates to the rand stand-in).
+    pub fn gen_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        self.0.gen_range(range)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy (used by `prop_oneof!` to unify arm types).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// A constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+    }
+
+    /// Full-domain values, for [`any`].
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Any value of `T`, uniformly over its domain.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Weighted union of strategies (behind [`crate::prop_oneof!`]).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total_weight: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a union; weights must not all be zero.
+        ///
+        /// # Panics
+        ///
+        /// Panics on an empty arm list or all-zero weights.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof needs a positive total weight");
+            OneOf { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (weight, strat) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights sum to total_weight")
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of values from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut super::TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts inside a property (alias of `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (alias of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Weighted choice between strategies: `prop_oneof![w1 => s1, w2 => s2]`.
+/// Unweighted arms default to weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $(($weight, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1u32 => $strat),+]
+    };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($config) $($rest)* }
+    };
+    (@cfg ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        Small(u64),
+        Flag(bool),
+        Fixed,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u64..10, 5u32..8), c in 1usize..=3) {
+            prop_assert!(a < 10);
+            prop_assert!((5..8).contains(&b));
+            prop_assert!((1..=3).contains(&c));
+        }
+
+        #[test]
+        fn vec_and_map(xs in crate::collection::vec((0u64..100).prop_map(|v| v * 2), 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|v| v % 2 == 0));
+        }
+
+        #[test]
+        fn oneof_hits_every_weighted_arm(picks in crate::collection::vec(
+            prop_oneof![
+                4 => (0u64..5).prop_map(Pick::Small),
+                2 => any::<bool>().prop_map(Pick::Flag),
+                1 => Just(Pick::Fixed),
+            ],
+            64..65,
+        )) {
+            prop_assert_eq!(picks.len(), 64);
+            prop_assert!(picks.iter().any(|p| matches!(p, Pick::Small(_))));
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

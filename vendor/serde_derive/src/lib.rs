@@ -1,0 +1,393 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-workspace
+//! serde stand-in.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, which are
+//! unavailable offline). Supports the type shapes used in this workspace:
+//!
+//! * named-field structs,
+//! * tuple structs (newtypes serialize as their inner value, wider tuples
+//!   as arrays),
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, matching serde's default representation),
+//!
+//! all without generic parameters. Unsupported shapes produce a
+//! `compile_error!` naming the limitation rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct Name { a: A, b: B }` — field names in order.
+    NamedStruct(Vec<String>),
+    /// `struct Name(A, B);` — field count.
+    TupleStruct(usize),
+    /// `enum Name { ... }`.
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields (1 = newtype).
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the stand-in's value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (the stand-in's value-tree conversion).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&str, &Shape) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            gen(&name, &shape).parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => {
+            format!("::core::compile_error!({msg:?});").parse().expect("compile_error tokens")
+        }
+    }
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde_derive: expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the offline serde stand-in"
+        ));
+    }
+    match (keyword.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::NamedStruct(parse_field_names(g.stream())?)))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok((name, Shape::TupleStruct(count_top_level(g.stream()))))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+        }
+        (kw, other) => {
+            Err(format!("serde_derive: unsupported item shape `{kw}` followed by {other:?}"))
+        }
+    }
+}
+
+/// Skips `#[attr]` groups, doc comments and visibility modifiers.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next(); // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body `a: A, b: B`.
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = body.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return Ok(names),
+            Some(TokenTree::Ident(field)) => {
+                names.push(field.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => {
+                        return Err(format!(
+                            "serde_derive: expected `:` after field `{field}`, got {other:?}"
+                        ))
+                    }
+                }
+                skip_type_until_comma(&mut iter);
+            }
+            Some(other) => return Err(format!("serde_derive: expected field name, got {other}")),
+        }
+    }
+}
+
+/// Consumes type tokens up to (and including) the next comma that is not
+/// nested inside `<...>` generics.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts comma-separated entries at angle-depth zero (tuple-struct arity).
+fn count_top_level(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tok in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // `(A, B)` has one top-level comma and two fields; a trailing comma
+    // over-counts by one but `(A, B,)` does not occur in this workspace.
+    usize::from(saw_any) + count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => return Err(format!("serde_derive: expected variant, got {other}")),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_field_names(g.stream())?;
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_type_until_comma(&mut iter);
+        variants.push(Variant { name, kind });
+    }
+}
+
+// ---------------------------------------------------------- generation
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{ty}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{ty}::{vn}(f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{ty}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Array(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))")
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Object(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(name, f)).collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Object(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     other => ::std::result::Result::Err(::serde::Error::expected(\"object for {name}\", other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(::serde::Error::expected(\"{n}-element array for {name}\", other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `field: from_value(...)` initializer with the lookup defaulting to
+/// `Null` so `Option` fields tolerate missing keys while required fields
+/// report a shape error.
+fn named_field_init(ty: &str, field: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(value.get({field:?}).unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| ::serde::Error(::std::format!(\"{ty}.{field}: {{}}\", e.0)))?"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push(format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),"));
+            }
+            VariantKind::Tuple(1) => tagged_arms.push(format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+            )),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "{vn:?} => match inner {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => ::std::result::Result::Ok({name}::{vn}({})),\n\
+                         other => ::std::result::Result::Err(::serde::Error::expected(\"{n}-element array for {name}::{vn}\", other)),\n\
+                     }},",
+                    items.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(inner.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "{vn:?} => match inner {{\n\
+                         ::serde::Value::Object(_) => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n\
+                         other => ::std::result::Result::Err(::serde::Error::expected(\"object for {name}::{vn}\", other)),\n\
+                     }},",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+             ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::Error(::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(::serde::Error(::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(::serde::Error::expected(\"{name} variant\", other)),\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}
