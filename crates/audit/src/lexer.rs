@@ -1,0 +1,330 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The audit rules only need a token stream that is faithful about the
+//! things that confuse plain text search: string and character literals,
+//! lifetimes, nested block comments, raw strings, and doc comments. The
+//! lexer keeps comments in the stream (the allowlist lives in comments)
+//! and records the 1-based line of every token.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `as`, `match`, and the `_`
+    /// pattern, which Rust treats as its own token but the rules are
+    /// happiest seeing as a one-character identifier).
+    Ident,
+    /// Integer or float literal, with any suffix attached.
+    Number,
+    /// String, raw string, byte string, or char literal.
+    Literal,
+    /// Lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// `//` line comment or `/* */` block comment, text included.
+    Comment,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// The token's verbatim source text.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// True for punctuation tokens whose text is exactly `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+
+    /// True for identifier tokens whose text is exactly `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Tokenizes `source`. Unterminated literals and comments are tolerated:
+/// the remainder of the file becomes one token, which is the most useful
+/// behavior for a linter (it never aborts a whole run on one bad file).
+#[must_use]
+pub fn tokenize(source: &str) -> Vec<Token<'_>> {
+    Lexer { src: source, bytes: source.as_bytes(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let start = self.pos;
+            let line = self.line;
+            let kind = match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(),
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_literal()
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.string_literal()
+                }
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                _ => {
+                    // Multibyte UTF-8 only occurs inside comments and
+                    // strings in this codebase; treat a stray lead byte as
+                    // opaque punctuation and resynchronize on the next
+                    // ASCII boundary.
+                    let ch_len = self.src[self.pos..].chars().next().map_or(1, char::len_utf8);
+                    self.pos += ch_len;
+                    TokenKind::Punct
+                }
+            };
+            out.push(Token { kind, text: &self.src[start..self.pos], line });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::Comment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Comment
+    }
+
+    /// True at `r"`, `r#`, `br"`, or `br#` — the start of a raw string.
+    fn raw_string_ahead(&self) -> bool {
+        let after_b = if self.bytes[self.pos] == b'b' { self.pos + 1 } else { self.pos };
+        self.bytes.get(after_b) == Some(&b'r')
+            && matches!(self.bytes.get(after_b + 1), Some(b'"' | b'#'))
+    }
+
+    fn raw_string(&mut self) -> TokenKind {
+        if self.bytes[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        self.pos += 1; // the `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#foo`: a raw identifier, not a string. Rewind over the
+            // hash and lex the identifier body.
+            self.pos -= hashes;
+            return self.ident();
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let end = self.pos + 1;
+                if self.bytes[end..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes {
+                    self.pos = end + hashes;
+                    return TokenKind::Literal;
+                }
+            }
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        TokenKind::Literal
+    }
+
+    fn string_literal(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return TokenKind::Literal;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Literal
+    }
+
+    /// A `'` is either a char literal or a lifetime. It is a lifetime when
+    /// an identifier follows and the character after it is not `'`.
+    fn quote(&mut self) -> TokenKind {
+        let after = self.peek(1);
+        let is_lifetime = matches!(after, Some(b'_' | b'a'..=b'z' | b'A'..=b'Z')) && {
+            let mut i = self.pos + 2;
+            while matches!(self.bytes.get(i), Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9'))
+            {
+                i += 1;
+            }
+            self.bytes.get(i) != Some(&b'\'')
+        };
+        if is_lifetime {
+            self.pos += 2;
+            while matches!(self.peek(0), Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            return TokenKind::Lifetime;
+        }
+        self.char_literal()
+    }
+
+    fn char_literal(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    return TokenKind::Literal;
+                }
+                b'\n' => {
+                    // Unterminated char literal; stop at the line break so
+                    // the rest of the file still lexes.
+                    return TokenKind::Literal;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Literal
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let digits: &[u8] = if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.pos += 2;
+            b"0123456789abcdefABCDEF_"
+        } else {
+            b"0123456789_"
+        };
+        while self.peek(0).is_some_and(|b| digits.contains(&b)) {
+            self.pos += 1;
+        }
+        // A `.` continues the number only when a digit follows (so `0..5`
+        // and `4.max(x)` lex the dot as punctuation).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            while self.peek(0).is_some_and(|b| digits.contains(&b)) {
+                self.pos += 1;
+            }
+        }
+        // Attach any suffix (`u64`, `f64`, `usize`, exponent).
+        while matches!(self.peek(0), Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        TokenKind::Number
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while matches!(self.peek(0), Some(b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_are_distinguished() {
+        let toks = kinds("let s: &'a str = \"x as u64 // not code\"; // trailing");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::Literal, "\"x as u64 // not code\"")));
+        assert!(toks.contains(&(TokenKind::Comment, "// trailing")));
+        // The `as u64` inside the string must not produce ident tokens.
+        assert!(!toks.contains(&(TokenKind::Ident, "as")));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let toks = kinds("/* a /* b */ c */ r#\"raw \" inner\"# 'x' b'\\n'");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1], (TokenKind::Literal, "r#\"raw \" inner\"#"));
+        assert_eq!(toks[2], (TokenKind::Literal, "'x'"));
+        assert_eq!(toks[3], (TokenKind::Literal, "b'\\n'"));
+    }
+
+    #[test]
+    fn numbers_ranges_and_suffixes() {
+        let toks = kinds("0x1ff 1_000u64 1.5 0..5");
+        assert_eq!(toks[0], (TokenKind::Number, "0x1ff"));
+        assert_eq!(toks[1], (TokenKind::Number, "1_000u64"));
+        assert_eq!(toks[2], (TokenKind::Number, "1.5"));
+        assert_eq!(toks[3], (TokenKind::Number, "0"));
+        assert_eq!(toks[4], (TokenKind::Punct, "."));
+        assert_eq!(toks[5], (TokenKind::Punct, "."));
+        assert_eq!(toks[6], (TokenKind::Number, "5"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = tokenize("a\n/* x\ny */\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+}

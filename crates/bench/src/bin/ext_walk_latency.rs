@@ -12,7 +12,7 @@ use hytlb_pagetable::{CachedWalker, PageTable};
 use hytlb_sim::experiment::{mapping_for, trace_for};
 use hytlb_sim::report::render_table;
 use hytlb_trace::WorkloadKind;
-use hytlb_types::PAGE_SIZE;
+use hytlb_types::PAGE_SIZE_U64;
 
 fn main() {
     let config = config_from_args();
@@ -37,7 +37,7 @@ fn main() {
         let mut hits = 0u64;
         let mut walks = 0u64;
         for logical in trace_for(workload, &config).into_iter().take(200_000) {
-            let vpn = index.nth_page(logical / PAGE_SIZE as u64);
+            let vpn = index.nth_page(logical / PAGE_SIZE_U64);
             let r = walker.walk(&table, vpn);
             cycles += r.cycles.as_u64();
             accesses += u64::from(r.memory_accesses);

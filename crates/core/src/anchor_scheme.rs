@@ -290,6 +290,12 @@ impl TranslationScheme for AnchorScheme {
     fn anchor_distance(&self) -> Option<u64> {
         Some(self.os.distance())
     }
+
+    fn geometries(&self) -> Vec<hytlb_tlb::TlbGeometry> {
+        let mut g = self.l1.geometries();
+        g.push(self.l2.geometry());
+        g
+    }
 }
 
 #[cfg(test)]

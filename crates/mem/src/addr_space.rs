@@ -84,7 +84,7 @@ impl AddressSpaceMap {
     /// Footprint in bytes.
     #[must_use]
     pub fn footprint_bytes(&self) -> u64 {
-        self.mapped_pages * hytlb_types::PAGE_SIZE as u64
+        self.mapped_pages * hytlb_types::PAGE_SIZE_U64
     }
 
     /// Iterates over the maximal chunks in ascending virtual order.

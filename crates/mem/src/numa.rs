@@ -89,7 +89,7 @@ impl NumaTopology {
     #[must_use]
     pub fn node_of(&self, pfn: PhysFrameNum) -> Option<usize> {
         let per_node = self.nodes.first().map(BuddyAllocator::total_frames)?;
-        let node = (pfn.as_u64() / per_node) as usize;
+        let node = hytlb_types::usize_from(pfn.as_u64() / per_node);
         (node < self.nodes.len()).then_some(node)
     }
 

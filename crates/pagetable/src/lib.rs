@@ -43,7 +43,7 @@ mod walker;
 pub use anchored::{AnchorProbe, AnchoredPageTable, ReanchorCost};
 pub use pte::{
     read_distributed_contiguity, write_distributed_contiguity, PageTableEntry, ANCHOR_BITS_PER_PTE,
-    MAX_CONTIGUITY,
+    FLAG_MASKS, MAX_CONTIGUITY,
 };
 pub use pwc::{CachedWalkResult, CachedWalker};
 pub use table::{LeafEntry, PageTable};

@@ -34,6 +34,19 @@ const XD_BIT: u64 = 1 << 63;
 const PFN_MASK: u64 = ((1u64 << 52) - 1) & !((1u64 << 12) - 1);
 const IGNORED_MASK: u64 = ((1u64 << 63) - 1) & !((1u64 << 52) - 1);
 
+/// Every named bit field of the PTE layout, for invariant auditing: the
+/// fields must be pairwise disjoint or the Figure 4 encoding is broken.
+/// The order matches the layout diagram above, low bits first.
+pub const FLAG_MASKS: [(&str, u64); 7] = [
+    ("present", PRESENT_BIT),
+    ("write", WRITE_BIT),
+    ("huge", HUGE_BIT),
+    ("read", READ_BIT),
+    ("pfn", PFN_MASK),
+    ("ignored", IGNORED_MASK),
+    ("xd", XD_BIT),
+];
+
 /// A single 64-bit page-table entry.
 ///
 /// ```

@@ -80,7 +80,8 @@ pub struct PageTable {
 
 /// Index of `vpn` within the node at `level` (0 = PML4 ... 3 = PT).
 fn index_at(vpn: VirtPageNum, level: usize) -> usize {
-    ((vpn.as_u64() >> (9 * (LEVELS - 1 - level))) & 0x1ff) as usize
+    let shift = 9 * (LEVELS - 1 - level) as u32;
+    vpn.index_bits(shift, 0x1ff)
 }
 
 impl PageTable {

@@ -1,0 +1,54 @@
+//! Property tests over the PTE bit layout (paper Figure 4).
+//!
+//! The same disjointness constraint is checked at runtime by
+//! `hytlb-audit -- invariants`; this test fuzzes it together with the
+//! field accessors so a layout edit that makes two fields overlap fails
+//! the suite even before the audit binary runs.
+
+use hytlb_pagetable::{PageTableEntry, FLAG_MASKS};
+use hytlb_types::{Permissions, PhysFrameNum};
+use proptest::prelude::*;
+
+#[test]
+fn flag_masks_are_pairwise_disjoint() {
+    for (i, &(name_a, mask_a)) in FLAG_MASKS.iter().enumerate() {
+        assert_ne!(mask_a, 0, "field {name_a} is empty");
+        for &(name_b, mask_b) in &FLAG_MASKS[i + 1..] {
+            assert_eq!(mask_a & mask_b, 0, "fields {name_a} and {name_b} overlap");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any two randomly chosen fields stay disjoint, and each mask is a
+    /// contiguous run of bits (x86-64 PTE fields are all contiguous).
+    #[test]
+    fn random_field_pairs_are_disjoint(a in 0usize..FLAG_MASKS.len(), b in 0usize..FLAG_MASKS.len()) {
+        let (name_a, mask_a) = FLAG_MASKS[a];
+        let (name_b, mask_b) = FLAG_MASKS[b];
+        if a != b {
+            prop_assert_eq!(mask_a & mask_b, 0, "fields {} and {} overlap", name_a, name_b);
+        }
+        let shifted = mask_a >> mask_a.trailing_zeros();
+        prop_assert_eq!(shifted & (shifted + 1), 0, "field {} has holes", name_a);
+    }
+
+    /// Writing one field never disturbs another: a leaf PTE with random
+    /// contiguity bits still reports its frame, presence and permissions.
+    #[test]
+    fn ignored_bits_never_leak_into_other_fields(
+        raw_pfn in 0u64..(1u64 << 40),
+        bits in 0u64..(1u64 << 11),
+    ) {
+        let pfn = PhysFrameNum::new(raw_pfn);
+        let mut pte = PageTableEntry::new_leaf(pfn, Permissions::READ_WRITE);
+        pte.set_ignored_bits(bits);
+        prop_assert!(pte.is_present());
+        prop_assert!(!pte.is_huge());
+        prop_assert_eq!(pte.pfn(), pfn);
+        prop_assert_eq!(pte.ignored_bits(), bits);
+        prop_assert_eq!(pte.permissions(), Permissions::READ_WRITE);
+    }
+}

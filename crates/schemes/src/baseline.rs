@@ -99,6 +99,12 @@ impl TranslationScheme for BaselineScheme {
         self.l1.flush();
         self.l2.flush();
     }
+
+    fn geometries(&self) -> Vec<hytlb_tlb::TlbGeometry> {
+        let mut g = self.l1.geometries();
+        g.push(self.l2.geometry());
+        g
+    }
 }
 
 #[cfg(test)]

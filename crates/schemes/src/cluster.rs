@@ -91,12 +91,12 @@ impl ClusterScheme {
     }
 
     fn cluster_set(&self, vcn: u64) -> usize {
-        (vcn as usize) & (self.cluster.sets() - 1)
+        hytlb_types::usize_from(vcn & (self.cluster.sets() as u64 - 1))
     }
 
     fn lookup_cluster(&mut self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
         let vcn = vpn.as_u64() / CLUSTER_SPAN;
-        let sub = (vpn.as_u64() % CLUSTER_SPAN) as usize;
+        let sub = hytlb_types::usize_from(vpn.offset_within(CLUSTER_SPAN));
         let set = self.cluster_set(vcn);
         self.cluster.lookup(set, vcn).and_then(|e| e.pfn_for(sub))
     }
@@ -111,7 +111,7 @@ impl ClusterScheme {
         for (i, pte) in block.iter().enumerate() {
             if pte.is_present() && pte.pfn().as_u64() / CLUSTER_SPAN == pcn {
                 entry.valid |= 1 << i;
-                entry.offsets[i] = (pte.pfn().as_u64() % CLUSTER_SPAN) as u8;
+                entry.offsets[i] = hytlb_types::u8_from(pte.pfn().offset_within(CLUSTER_SPAN));
             }
         }
         (entry.coverage() >= 2).then_some(entry)
@@ -138,8 +138,7 @@ impl TranslationScheme for ClusterScheme {
                 cycles: self.latency.l2_hit,
                 pfn: Some(pfn),
             }
-        } else if self.use_2mb && self.regular.lookup_2m(vpn).is_some() {
-            let pfn = self.regular.lookup_2m(vpn).expect("just hit");
+        } else if let Some(pfn) = self.use_2mb.then(|| self.regular.lookup_2m(vpn)).flatten() {
             self.l1.insert(vpn, pfn, PageSize::Huge2M);
             AccessResult {
                 path: TranslationPath::L2RegularHit,
@@ -163,7 +162,8 @@ impl TranslationScheme for ClusterScheme {
                             debug_assert!(self.use_2mb);
                             self.regular.insert_2m(leaf.head_vpn, leaf.head_pfn);
                         }
-                        // from_map never builds 1 GB leaves here.
+                        // audit:allow(panic): invariant — from_map never
+                        // builds 1 GB leaves here.
                         PageSize::Giant1G => unreachable!("no 1GB leaves here"),
                         PageSize::Base4K => {
                             let vcn = vpn.as_u64() / CLUSTER_SPAN;
@@ -183,7 +183,7 @@ impl TranslationScheme for ClusterScheme {
                                     self.cluster.insert(set, vcn, entry);
                                     self.cluster_fills += 1;
                                 }
-                                _ => self.regular.insert_4k(vpn, pfn),
+                                Some(_) | None => self.regular.insert_4k(vpn, pfn),
                             }
                         }
                     }
@@ -211,6 +211,13 @@ impl TranslationScheme for ClusterScheme {
         self.l1.flush();
         self.regular.flush();
         self.cluster.flush();
+    }
+
+    fn geometries(&self) -> Vec<hytlb_tlb::TlbGeometry> {
+        let mut g = self.l1.geometries();
+        g.push(self.regular.geometry());
+        g.push(self.cluster.geometry("L2 cluster"));
+        g
     }
 }
 

@@ -111,7 +111,7 @@ impl ColtScheme {
     }
 
     fn window_set(&self, wdw: u64) -> usize {
-        (wdw as usize) & (self.coalesced.sets() - 1)
+        hytlb_types::usize_from(wdw & (self.coalesced.sets() as u64 - 1))
     }
 
     fn lookup_coalesced(&mut self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
@@ -125,7 +125,7 @@ impl ColtScheme {
     /// `vpn` (this is CoLT's free post-walk scan of the arriving line).
     fn coalesce_run(&self, vpn: VirtPageNum, pfn: PhysFrameNum) -> Option<ColtEntry> {
         let block = self.table.leaf_block(vpn)?;
-        let off = (vpn.as_u64() % WINDOW) as usize;
+        let off = hytlb_types::usize_from(vpn.offset_within(WINDOW));
         // Expand left.
         let mut first = off;
         while first > 0 {
@@ -201,7 +201,7 @@ impl TranslationScheme for ColtScheme {
                             self.coalesced.insert(set, wdw, entry);
                             self.coalesced_fills += 1;
                         }
-                        _ => self.regular.insert_4k(vpn, pfn),
+                        Some(_) | None => self.regular.insert_4k(vpn, pfn),
                     }
                     // CoLT-FA additionally coalesces the full contiguous
                     // run (no window bound) when it is long enough to be
@@ -244,6 +244,16 @@ impl TranslationScheme for ColtScheme {
         if let Some(fa) = self.fa.as_mut() {
             fa.flush();
         }
+    }
+
+    fn geometries(&self) -> Vec<hytlb_tlb::TlbGeometry> {
+        let mut g = self.l1.geometries();
+        g.push(self.regular.geometry());
+        g.push(self.coalesced.geometry("L2 CoLT"));
+        if let Some(fa) = self.fa.as_ref() {
+            g.push(fa.geometry("CoLT FA"));
+        }
+        g
     }
 }
 

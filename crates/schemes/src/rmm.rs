@@ -119,7 +119,8 @@ impl TranslationScheme for RmmScheme {
                     match leaf.size {
                         PageSize::Base4K => self.l2.insert_4k(vpn, pfn),
                         PageSize::Huge2M => self.l2.insert_2m(leaf.head_vpn, leaf.head_pfn),
-                        // from_map never builds 1 GB leaves for this scheme.
+                        // audit:allow(panic): invariant — from_map never
+                        // builds 1 GB leaves for this scheme.
                         PageSize::Giant1G => unreachable!("no 1GB leaves here"),
                     }
                     // Refill the range TLB from the range table: the chunk
@@ -157,6 +158,13 @@ impl TranslationScheme for RmmScheme {
         self.l1.flush();
         self.l2.flush();
         self.ranges.flush();
+    }
+
+    fn geometries(&self) -> Vec<hytlb_tlb::TlbGeometry> {
+        let mut g = self.l1.geometries();
+        g.push(self.l2.geometry());
+        g.push(self.ranges.geometry("Range TLB"));
+        g
     }
 }
 

@@ -1,5 +1,6 @@
 //! The common scheme interface and the Table 3 latency model.
 
+use hytlb_tlb::TlbGeometry;
 use hytlb_types::{Cycles, PhysFrameNum, VirtAddr};
 
 /// The timing model of the paper's Table 3.
@@ -155,6 +156,14 @@ pub trait TranslationScheme: Send {
     /// (Table 6 reports it). Non-anchor schemes return `None`.
     fn anchor_distance(&self) -> Option<u64> {
         None
+    }
+
+    /// Geometries of every TLB structure this scheme instantiates, so
+    /// `hytlb-audit -- invariants` can verify the architectural constraints
+    /// (power-of-two set counts, index masks covering the index bits)
+    /// without reaching into scheme internals. Default: no structures.
+    fn geometries(&self) -> Vec<TlbGeometry> {
+        Vec::new()
     }
 }
 

@@ -126,18 +126,24 @@ impl SharedL2 {
         self.tlb.is_empty()
     }
 
+    /// Geometry of the shared array, for invariant auditing.
+    #[must_use]
+    pub fn geometry(&self) -> hytlb_tlb::TlbGeometry {
+        self.tlb.geometry("L2 shared")
+    }
+
     fn set_4k(&self, vpn: VirtPageNum) -> usize {
-        (vpn.as_u64() & self.set_mask) as usize
+        vpn.index_bits(0, self.set_mask)
     }
 
     fn set_2m(&self, head: VirtPageNum) -> usize {
-        ((head.as_u64() >> 9) & self.set_mask) as usize
+        head.index_bits(9, self.set_mask)
     }
 
     fn set_anchor(&self, avpn: VirtPageNum, distance_log2: u32, indexing: AnchorIndexing) -> usize {
         match indexing {
-            AnchorIndexing::Fig6 => ((avpn.as_u64() >> distance_log2) & self.set_mask) as usize,
-            AnchorIndexing::NaiveLowBits => (avpn.as_u64() & self.set_mask) as usize,
+            AnchorIndexing::Fig6 => avpn.index_bits(distance_log2, self.set_mask),
+            AnchorIndexing::NaiveLowBits => avpn.index_bits(0, self.set_mask),
         }
     }
 

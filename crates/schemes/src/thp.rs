@@ -76,7 +76,8 @@ impl TranslationScheme for ThpScheme {
                     match leaf.size {
                         PageSize::Base4K => self.l2.insert_4k(vpn, pfn),
                         PageSize::Huge2M => self.l2.insert_2m(leaf.head_vpn, leaf.head_pfn),
-                        // from_map never builds 1 GB leaves for this scheme.
+                        // audit:allow(panic): invariant — from_map never
+                        // builds 1 GB leaves for this scheme.
                         PageSize::Giant1G => unreachable!("no 1GB leaves here"),
                     }
                     self.l1.insert(vpn, pfn, leaf.size);
@@ -102,6 +103,12 @@ impl TranslationScheme for ThpScheme {
     fn flush(&mut self) {
         self.l1.flush();
         self.l2.flush();
+    }
+
+    fn geometries(&self) -> Vec<hytlb_tlb::TlbGeometry> {
+        let mut g = self.l1.geometries();
+        g.push(self.l2.geometry());
+        g
     }
 }
 

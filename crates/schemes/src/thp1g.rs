@@ -50,15 +50,21 @@ impl Thp1GScheme {
                     && end - vpn >= GIANT_PAGE_PAGES
                     && map.giant_page_at(vpn) == Some(vpn)
                 {
+                    // audit:allow(panic): invariant — `vpn < end`, so it
+                    // lies inside `chunk` and always translates.
                     table.map_giant(vpn, chunk.translate(vpn).expect("inside"), chunk.perms);
                     vpn += GIANT_PAGE_PAGES;
                 } else if vpn.is_aligned(HUGE_PAGE_PAGES)
                     && end - vpn >= HUGE_PAGE_PAGES
                     && map.huge_page_at(vpn) == Some(vpn)
                 {
+                    // audit:allow(panic): invariant — `vpn < end`, so it
+                    // lies inside `chunk` and always translates.
                     table.map_huge(vpn, chunk.translate(vpn).expect("inside"), chunk.perms);
                     vpn += HUGE_PAGE_PAGES;
                 } else {
+                    // audit:allow(panic): invariant — `vpn < end`, so it
+                    // lies inside `chunk` and always translates.
                     table.map(vpn, chunk.translate(vpn).expect("inside"), chunk.perms);
                     vpn += 1;
                 }
@@ -83,7 +89,7 @@ impl Thp1GScheme {
     }
 
     fn giant_set(&self, head: VirtPageNum) -> usize {
-        ((head.as_u64() >> 18) as usize) & (self.giant.sets() - 1)
+        head.index_bits(18, (self.giant.sets() as u64) - 1)
     }
 
     fn lookup_giant(&mut self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
@@ -161,6 +167,13 @@ impl TranslationScheme for Thp1GScheme {
         self.l1.flush();
         self.l2.flush();
         self.giant.flush();
+    }
+
+    fn geometries(&self) -> Vec<hytlb_tlb::TlbGeometry> {
+        let mut g = self.l1.geometries();
+        g.push(self.l2.geometry());
+        g.push(self.giant.geometry("L2 1GB"));
+        g
     }
 }
 

@@ -1,9 +1,10 @@
 //! The machine: a translation scheme driven by a logical-address trace.
 
 use crate::config::{PaperConfig, SchemeKind};
+use crate::error::SimError;
 use hytlb_mem::{AddressSpaceMap, PageIndex};
 use hytlb_schemes::{SchemeStats, TranslationScheme};
-use hytlb_types::{VirtAddr, PAGE_SIZE};
+use hytlb_types::{VirtAddr, PAGE_SIZE_U64};
 use std::sync::Arc;
 
 /// Translation-CPI contributions, as stacked in Figures 10–11.
@@ -144,9 +145,17 @@ impl Machine {
     /// Panics if a trace address exceeds the mapping's footprint, or if the
     /// MMU mistranslates (cross-checked against nothing at runtime — the
     /// schemes assert internally — but faults on mapped-only traces are a
-    /// harness bug and do panic).
+    /// harness bug and do panic). Use [`Machine::try_run`] for the
+    /// non-panicking variant.
     pub fn run<I: IntoIterator<Item = u64>>(&mut self, trace: I) -> RunStats {
         self.run_with_flush_period(trace, u64::MAX)
+    }
+
+    /// Like [`Machine::run`], but reports a fault as a typed
+    /// [`SimError::TraceFault`] naming the scheme and the address instead
+    /// of panicking, so matrix drivers can attribute the failure to a cell.
+    pub fn try_run<I: IntoIterator<Item = u64>>(&mut self, trace: I) -> Result<RunStats, SimError> {
+        self.try_run_with_flush_period(trace, u64::MAX)
     }
 
     /// Like [`Machine::run`], but flushes all TLB state every
@@ -154,26 +163,48 @@ impl Machine {
     /// the TLB on native x86 Linux (paper §3.3). Coalesced schemes refill
     /// their reach with far fewer walks than the baseline, so frequent
     /// switches *widen* their advantage.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Machine::run`].
     pub fn run_with_flush_period<I: IntoIterator<Item = u64>>(
         &mut self,
         trace: I,
         flush_period: u64,
     ) -> RunStats {
+        // audit:allow(panic): invariant — the panicking wrapper exists for
+        // the many quick-experiment callers; the error already names the
+        // scheme and address, and matrix cells use the try_ variant.
+        self.try_run_with_flush_period(trace, flush_period).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The non-panicking core of [`Machine::run_with_flush_period`]: a
+    /// fault on a mapped-only trace surfaces as [`SimError::TraceFault`].
+    /// Checked in release builds too — a silent mistranslation would
+    /// corrupt every figure downstream.
+    pub fn try_run_with_flush_period<I: IntoIterator<Item = u64>>(
+        &mut self,
+        trace: I,
+        flush_period: u64,
+    ) -> Result<RunStats, SimError> {
         let epoch_every = self.config.epoch_accesses();
         let mut since_epoch = 0u64;
         let mut since_flush = 0u64;
         let mut accesses = 0u64;
         for logical in trace {
-            let page = logical / PAGE_SIZE as u64;
-            let offset = logical % PAGE_SIZE as u64;
+            let page = logical / PAGE_SIZE_U64;
+            let offset = logical % PAGE_SIZE_U64;
             let vpn = self.index.nth_page(page);
             let va = VirtAddr::new(vpn.base_addr().as_u64() + offset);
             let result = self.scheme.access(va);
             // A fault here means the placement layer or a scheme's walk
-            // path is broken: traces only ever touch mapped pages. Checked
-            // in release builds too — a silent mistranslation would corrupt
-            // every figure downstream.
-            assert!(result.pfn.is_some(), "fault on a mapped-only trace at {va}");
+            // path is broken: traces only ever touch mapped pages.
+            if result.pfn.is_none() {
+                return Err(SimError::TraceFault {
+                    scheme: self.scheme.name().to_owned(),
+                    vaddr: va,
+                });
+            }
             accesses += 1;
             since_epoch += 1;
             since_flush += 1;
@@ -186,7 +217,7 @@ impl Machine {
                 since_flush = 0;
             }
         }
-        self.finish(accesses)
+        Ok(self.finish(accesses))
     }
 
     fn finish(&self, accesses: u64) -> RunStats {
@@ -269,6 +300,24 @@ mod tests {
                 .tlb_misses()
         };
         assert!(walks(SchemeKind::AnchorDynamic) < walks(SchemeKind::Baseline));
+    }
+
+    #[test]
+    fn try_run_names_the_faulting_scheme_and_address() {
+        let config = quick();
+        // The scheme only knows a 64-page mapping, but the placement layer
+        // uses a 4096-page one: the trace soon leaves the scheme's map.
+        let small = Arc::new(Scenario::MediumContiguity.generate(64, 7));
+        let big = Arc::new(Scenario::MediumContiguity.generate(4096, 7));
+        let scheme = SchemeKind::Baseline.build(&small, &config);
+        let mut m = Machine::from_scheme(scheme, &big, &config);
+        let err = m
+            .try_run(WorkloadKind::Gups.generator(4096, 7).take(5_000))
+            .expect_err("mismatched maps must fault");
+        match err {
+            crate::SimError::TraceFault { scheme, .. } => assert_eq!(scheme, "Base"),
+            other => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

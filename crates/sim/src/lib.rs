@@ -39,10 +39,12 @@
 
 mod config;
 mod engine;
+mod error;
 pub mod experiment;
 pub mod matrix;
 pub mod report;
 
 pub use config::{PaperConfig, SchemeKind};
 pub use engine::{CpiBreakdown, Machine, RunStats};
-pub use matrix::{run_matrix, MatrixCache};
+pub use error::SimError;
+pub use matrix::{run_matrix, try_run_matrix, MatrixCache};

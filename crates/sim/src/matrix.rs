@@ -32,6 +32,7 @@
 
 use crate::config::{PaperConfig, SchemeKind};
 use crate::engine::{Machine, RunStats};
+use crate::error::SimError;
 use crate::experiment::{mapping_for, trace_for, SuiteResult, WorkloadRow};
 use hytlb_mem::{AddressSpaceMap, PageIndex, Scenario};
 use hytlb_trace::WorkloadKind;
@@ -144,6 +145,11 @@ pub fn worker_count(config: &PaperConfig) -> usize {
 /// Runs every `(scenario, workload, scheme)` cell of the matrix on a
 /// bounded worker pool, one suite per scenario in input order. Inputs are
 /// generated exactly once via a fresh [`MatrixCache`].
+///
+/// # Panics
+///
+/// Panics if a cell fails; the message names the failing cell. Use
+/// [`try_run_matrix`] to handle the failure instead.
 #[must_use]
 pub fn run_matrix(
     scenarios: &[Scenario],
@@ -154,8 +160,24 @@ pub fn run_matrix(
     run_matrix_with(&MatrixCache::new(), scenarios, workloads, kinds, config)
 }
 
+/// Non-panicking [`run_matrix`]: a failing cell surfaces as
+/// [`SimError::Cell`] naming its `(scenario, workload, scheme)`.
+pub fn try_run_matrix(
+    scenarios: &[Scenario],
+    workloads: &[WorkloadKind],
+    kinds: &[SchemeKind],
+    config: &PaperConfig,
+) -> Result<Vec<SuiteResult>, SimError> {
+    try_run_matrix_with(&MatrixCache::new(), scenarios, workloads, kinds, config)
+}
+
 /// [`run_matrix`] against a caller-owned cache, so consecutive matrices
 /// (e.g. several figures in one process) reuse mappings and traces.
+///
+/// # Panics
+///
+/// Panics if a cell fails; the message names the failing cell. Use
+/// [`try_run_matrix_with`] to handle the failure instead.
 #[must_use]
 pub fn run_matrix_with(
     cache: &MatrixCache,
@@ -164,6 +186,19 @@ pub fn run_matrix_with(
     kinds: &[SchemeKind],
     config: &PaperConfig,
 ) -> Vec<SuiteResult> {
+    try_run_matrix_with(cache, scenarios, workloads, kinds, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`run_matrix_with`]: a failing cell surfaces as
+/// [`SimError::Cell`] naming its `(scenario, workload, scheme)`.
+pub fn try_run_matrix_with(
+    cache: &MatrixCache,
+    scenarios: &[Scenario],
+    workloads: &[WorkloadKind],
+    kinds: &[SchemeKind],
+    config: &PaperConfig,
+) -> Result<Vec<SuiteResult>, SimError> {
     let cells: Vec<(usize, usize, usize)> = (0..scenarios.len())
         .flat_map(|s| {
             (0..workloads.len()).flat_map(move |w| (0..kinds.len()).map(move |k| (s, w, k)))
@@ -174,18 +209,22 @@ pub fn run_matrix_with(
     let mut results = results.into_iter();
     scenarios
         .iter()
-        .map(|&scenario| SuiteResult {
-            scenario,
-            schemes: kinds.iter().map(|k| k.label()).collect(),
-            rows: workloads
-                .iter()
-                .map(|&workload| WorkloadRow {
-                    workload,
-                    runs: (0..kinds.len())
-                        .map(|_| results.next().expect("one run per cell"))
-                        .collect(),
-                })
-                .collect(),
+        .map(|&scenario| {
+            Ok(SuiteResult {
+                scenario,
+                schemes: kinds.iter().map(|k| k.label()).collect(),
+                rows: workloads
+                    .iter()
+                    .map(|&workload| {
+                        Ok(WorkloadRow {
+                            workload,
+                            runs: (0..kinds.len())
+                                .map(|_| results.next().expect("one run per cell"))
+                                .collect::<Result<Vec<RunStats>, SimError>>()?,
+                        })
+                    })
+                    .collect::<Result<Vec<WorkloadRow>, SimError>>()?,
+            })
         })
         .collect()
 }
@@ -225,8 +264,9 @@ pub fn run_matrix_with_static_ideal(
     suites
 }
 
-/// Runs the given cells on the worker pool and returns one [`RunStats`]
-/// per cell, in input order.
+/// Runs the given cells on the worker pool and returns one result per
+/// cell, in input order. A failing cell's error is wrapped in
+/// [`SimError::Cell`] naming the cell's coordinates.
 fn run_cells(
     cache: &MatrixCache,
     cells: &[(usize, usize, usize)],
@@ -234,8 +274,9 @@ fn run_cells(
     workloads: &[WorkloadKind],
     kinds: &[SchemeKind],
     config: &PaperConfig,
-) -> Vec<RunStats> {
-    let slots: Vec<OnceLock<RunStats>> = cells.iter().map(|_| OnceLock::new()).collect();
+) -> Vec<Result<RunStats, SimError>> {
+    let slots: Vec<OnceLock<Result<RunStats, SimError>>> =
+        cells.iter().map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     let threads = worker_count(config).min(cells.len()).max(1);
     std::thread::scope(|scope| {
@@ -246,7 +287,10 @@ fn run_cells(
                 let shared = cache.mapping(workloads[w], scenarios[s], config);
                 let trace = cache.trace(workloads[w], config);
                 let run = Machine::for_scheme_indexed(kinds[k], &shared.map, &shared.index, config)
-                    .run(trace.iter().copied());
+                    .try_run(trace.iter().copied())
+                    .map_err(|e| {
+                        e.in_cell(scenarios[s].label(), workloads[w].label(), &kinds[k].label())
+                    });
                 slots[i].set(run).expect("each cell claimed once");
             });
         }

@@ -1,5 +1,6 @@
 //! Text and JSON renderers that reproduce the paper's figure/table rows.
 
+use crate::error::SimError;
 use crate::experiment::SuiteResult;
 use std::fmt::Write as _;
 
@@ -100,14 +101,10 @@ pub fn l2_breakdown_table(suite: &SuiteResult, scheme_index: usize) -> String {
 /// Table 6-style anchor-distance table: workloads × scenarios, showing the
 /// distance the dynamic algorithm selected in each suite. All suites must
 /// contain the same workloads in the same order and include an anchor
-/// scheme run.
-///
-/// # Panics
-///
-/// Panics if suites disagree on workloads or lack anchor distances.
-#[must_use]
-pub fn distance_table(suites: &[&SuiteResult], scheme_index: usize) -> String {
-    let first = suites.first().expect("at least one suite");
+/// scheme run; a violation is reported as a [`SimError`] naming the
+/// offending row and column instead of a bare panic.
+pub fn distance_table(suites: &[&SuiteResult], scheme_index: usize) -> Result<String, SimError> {
+    let first = suites.first().ok_or(SimError::NoSuites)?;
     let cols: Vec<String> = suites.iter().map(|s| s.scenario.label().to_owned()).collect();
     let rows: Vec<(String, Vec<String>)> = first
         .rows
@@ -117,16 +114,26 @@ pub fn distance_table(suites: &[&SuiteResult], scheme_index: usize) -> String {
             let cells = suites
                 .iter()
                 .map(|s| {
-                    assert_eq!(s.rows[i].workload, row.workload, "suites must align");
-                    let d =
-                        s.rows[i].runs[scheme_index].anchor_distance.expect("anchor scheme column");
-                    format_distance(d)
+                    if s.rows[i].workload != row.workload {
+                        return Err(SimError::SuiteMisaligned {
+                            row: i,
+                            expected: row.workload.label().to_owned(),
+                            found: s.rows[i].workload.label().to_owned(),
+                        });
+                    }
+                    let d = s.rows[i].runs[scheme_index].anchor_distance.ok_or_else(|| {
+                        SimError::NotAnAnchorColumn {
+                            scheme: s.schemes[scheme_index].clone(),
+                            workload: row.workload.label().to_owned(),
+                        }
+                    })?;
+                    Ok(format_distance(d))
                 })
-                .collect();
-            (row.workload.label().to_owned(), cells)
+                .collect::<Result<Vec<String>, SimError>>()?;
+            Ok((row.workload.label().to_owned(), cells))
         })
-        .collect();
-    render_table("anchor distance", &cols, &rows)
+        .collect::<Result<_, SimError>>()?;
+    Ok(render_table("anchor distance", &cols, &rows))
 }
 
 /// Formats a distance the way Table 6 does (4, 32, 1K, 64K, ...).
@@ -238,7 +245,13 @@ pub fn suite_bars(suite: &SuiteResult) -> String {
 /// Panics if serialization fails (the types here cannot fail to serialize).
 #[must_use]
 pub fn to_json<T: serde::Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("results serialize")
+    try_to_json(value).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`to_json`]: a serializer failure surfaces as
+/// [`SimError::Serialize`] carrying the serializer's message.
+pub fn try_to_json<T: serde::Serialize>(value: &T) -> Result<String, SimError> {
+    serde_json::to_string_pretty(value).map_err(|e| SimError::Serialize { detail: e.to_string() })
 }
 
 #[cfg(test)]
@@ -280,9 +293,19 @@ mod tests {
         assert_eq!(format_distance(65536), "64K");
         assert_eq!(format_distance(1536), "1536");
         let suite = small_suite();
-        let t = distance_table(&[&suite], 1);
+        let t = distance_table(&[&suite], 1).expect("anchor column renders");
         assert!(t.contains("gups"));
         assert!(t.contains("medium"));
+    }
+
+    #[test]
+    fn distance_table_reports_bad_inputs_by_name() {
+        assert_eq!(distance_table(&[], 0), Err(SimError::NoSuites));
+        let suite = small_suite();
+        // Column 0 is the baseline: no anchor distance to report.
+        let err = distance_table(&[&suite], 0).expect_err("baseline has no distance");
+        let msg = err.to_string();
+        assert!(msg.contains("Base") && msg.contains("gups"), "{msg}");
     }
 
     #[test]

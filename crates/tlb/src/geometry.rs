@@ -1,0 +1,82 @@
+//! Structural self-description of TLB arrays.
+//!
+//! Every hardware structure in the model can report its geometry — set
+//! count, associativity and the index mask it expects callers to use — so
+//! that `hytlb-audit -- invariants` can statically verify the architectural
+//! constraints the paper's comparisons rely on (power-of-two set counts,
+//! index masks that exactly cover the index bits) without reaching into
+//! private fields.
+
+/// The shape of one TLB array, as reported by the structure itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbGeometry {
+    /// Human-readable structure name ("L2 shared", "L1 4KB", ...).
+    pub label: &'static str,
+    /// Number of sets (1 for fully-associative structures).
+    pub sets: usize,
+    /// Ways per set (the full capacity for fully-associative structures).
+    pub ways: usize,
+    /// The low-bit mask callers apply to derive a set index
+    /// (`sets - 1` for set-associative arrays, 0 for fully-associative).
+    pub index_mask: u64,
+}
+
+impl TlbGeometry {
+    /// Total entry capacity.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// `true` when the geometry satisfies the simulator's architectural
+    /// invariants: a power-of-two set count, at least one way, and an
+    /// index mask that exactly covers the set-index bits.
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        self.sets.is_power_of_two() && self.ways > 0 && self.index_mask == (self.sets as u64) - 1
+    }
+}
+
+impl core::fmt::Display for TlbGeometry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: {} sets x {} ways ({} entries), index mask {:#x}",
+            self.label,
+            self.sets,
+            self.ways,
+            self.capacity(),
+            self.index_mask
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_geometry() {
+        let g = TlbGeometry { label: "t", sets: 128, ways: 8, index_mask: 127 };
+        assert!(g.is_well_formed());
+        assert_eq!(g.capacity(), 1024);
+        assert!(g.to_string().contains("128 sets"));
+    }
+
+    #[test]
+    fn malformed_geometries_are_rejected() {
+        let bad_sets = TlbGeometry { label: "t", sets: 96, ways: 8, index_mask: 95 };
+        assert!(!bad_sets.is_well_formed());
+        let bad_mask = TlbGeometry { label: "t", sets: 128, ways: 8, index_mask: 63 };
+        assert!(!bad_mask.is_well_formed());
+        let no_ways = TlbGeometry { label: "t", sets: 128, ways: 0, index_mask: 127 };
+        assert!(!no_ways.is_well_formed());
+    }
+
+    #[test]
+    fn fully_associative_shape() {
+        let fa = TlbGeometry { label: "range", sets: 1, ways: 32, index_mask: 0 };
+        assert!(fa.is_well_formed());
+        assert_eq!(fa.capacity(), 32);
+    }
+}

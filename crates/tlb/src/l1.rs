@@ -56,11 +56,17 @@ impl L1Tlb {
     }
 
     fn base_set(&self, vpn: VirtPageNum) -> usize {
-        (vpn.as_u64() as usize) & (self.base.sets() - 1)
+        vpn.index_bits(0, (self.base.sets() as u64) - 1)
     }
 
     fn huge_set(&self, head: VirtPageNum) -> usize {
-        ((head.as_u64() >> 9) as usize) & (self.huge.sets() - 1)
+        head.index_bits(9, (self.huge.sets() as u64) - 1)
+    }
+
+    /// Geometries of both size-class arrays, for invariant auditing.
+    #[must_use]
+    pub fn geometries(&self) -> Vec<crate::TlbGeometry> {
+        vec![self.base.geometry("L1 4KB"), self.huge.geometry("L1 2MB")]
     }
 
     /// Looks up `vpn` in both size classes, returning its backing frame.

@@ -20,20 +20,22 @@
 //!
 //! // A 1024-entry, 8-way L2 TLB: 128 sets.
 //! let mut l2: SetAssocTlb<u64> = SetAssocTlb::new(128, 8);
-//! let vpn = 0xabcdefu64;
-//! let set = (vpn as usize) & (l2.sets() - 1);
-//! l2.insert(set, vpn, 42);
-//! assert_eq!(l2.lookup(set, vpn), Some(&42));
+//! let vpn = hytlb_types::VirtPageNum::new(0xabcdef);
+//! let set = vpn.index_bits(0, l2.geometry("L2").index_mask);
+//! l2.insert(set, vpn.as_u64(), 42);
+//! assert_eq!(l2.lookup(set, vpn.as_u64()), Some(&42));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod geometry;
 mod l1;
 mod range_tlb;
 mod set_assoc;
 mod stats;
 
+pub use geometry::TlbGeometry;
 pub use l1::L1Tlb;
 pub use range_tlb::{RangeEntry, RangeTlb};
 pub use set_assoc::SetAssocTlb;

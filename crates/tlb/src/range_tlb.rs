@@ -80,6 +80,13 @@ impl RangeTlb {
         self.capacity
     }
 
+    /// Geometry of this fully-associative array: one set, `capacity`
+    /// ways, no index bits.
+    #[must_use]
+    pub fn geometry(&self, label: &'static str) -> crate::TlbGeometry {
+        crate::TlbGeometry { label, sets: 1, ways: self.capacity, index_mask: 0 }
+    }
+
     /// Live entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -123,6 +130,8 @@ impl RangeTlb {
             .enumerate()
             .min_by_key(|(_, (_, stamp))| *stamp)
             .map(|(i, _)| i)
+            // audit:allow(panic): invariant — reached only when
+            // `entries.len() == capacity >= 1`, so a minimum exists.
             .expect("full, hence nonempty");
         let victim = std::mem::replace(&mut self.entries[idx], (entry, tick));
         Some(victim.0)

@@ -55,6 +55,17 @@ impl<P> SetAssocTlb<P> {
         self.sets.len() * self.ways
     }
 
+    /// This array's [`TlbGeometry`] under the given display label.
+    #[must_use]
+    pub fn geometry(&self, label: &'static str) -> crate::TlbGeometry {
+        crate::TlbGeometry {
+            label,
+            sets: self.sets.len(),
+            ways: self.ways,
+            index_mask: (self.sets.len() as u64) - 1,
+        }
+    }
+
     /// Number of live entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -109,6 +120,8 @@ impl<P> SetAssocTlb<P> {
             ways.push(Way { tag, payload, stamp: tick });
             return None;
         }
+        // audit:allow(panic): invariant — the set was just checked to be
+        // full (`ways.len() >= self.ways >= 1`), so a victim always exists.
         let victim = ways.iter_mut().min_by_key(|w| w.stamp).expect("set is full, hence nonempty");
         let old_tag = victim.tag;
         let old_payload = std::mem::replace(&mut victim.payload, payload);

@@ -9,7 +9,7 @@
 //! touches ~1 distinct page per access; `omnetpp`'s hot set saturates the
 //! window curve early).
 
-use hytlb_types::PAGE_SIZE;
+use hytlb_types::PAGE_SIZE_U64;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -48,7 +48,7 @@ impl TraceProfile {
         let mut mru_hits = 0u64;
         let mut prev_page: Option<u64> = None;
         for addr in stream.into_iter().take(limit) {
-            let page = addr / PAGE_SIZE as u64;
+            let page = addr / PAGE_SIZE_U64;
             accesses += 1;
             match distinct.entry(page) {
                 Entry::Occupied(mut e) => *e.get_mut() += 1,

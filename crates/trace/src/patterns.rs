@@ -1,6 +1,6 @@
 //! Composable access-pattern primitives.
 
-use hytlb_types::PAGE_SIZE;
+use hytlb_types::PAGE_SIZE_U64;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -169,8 +169,8 @@ impl Iterator for TraceGenerator {
             self.burst_left = self.rng.gen_range(1..=self.burst * 2 - 1).max(1);
         }
         self.burst_left -= 1;
-        let offset = self.rng.gen_range(0..PAGE_SIZE as u64);
-        Some(self.burst_page * PAGE_SIZE as u64 + offset)
+        let offset = self.rng.gen_range(0..PAGE_SIZE_U64);
+        Some(self.burst_page * PAGE_SIZE_U64 + offset)
     }
 }
 
@@ -180,7 +180,7 @@ mod tests {
     use std::collections::HashSet;
 
     fn pages(pattern: AccessPattern, n: u64, take: usize) -> Vec<u64> {
-        TraceGenerator::new(pattern, n, 1, 2).take(take).map(|a| a / PAGE_SIZE as u64).collect()
+        TraceGenerator::new(pattern, n, 1, 2).take(take).map(|a| a / PAGE_SIZE_U64).collect()
     }
 
     #[test]
@@ -194,7 +194,7 @@ mod tests {
         ] {
             let g = TraceGenerator::new(pattern.clone(), 500, 3, 3);
             for a in g.take(10_000) {
-                assert!(a < 500 * PAGE_SIZE as u64, "{pattern:?} escaped: {a}");
+                assert!(a < 500 * PAGE_SIZE_U64, "{pattern:?} escaped: {a}");
             }
         }
     }

@@ -173,7 +173,7 @@ impl core::fmt::Display for WorkloadKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hytlb_types::PAGE_SIZE;
+    use hytlb_types::PAGE_SIZE_U64;
     use std::collections::HashSet;
 
     #[test]
@@ -193,7 +193,7 @@ mod tests {
         for w in WorkloadKind::all() {
             let fp = 4096;
             for a in w.generator(fp, 7).take(5_000) {
-                assert!(a < fp * PAGE_SIZE as u64, "{w} escaped");
+                assert!(a < fp * PAGE_SIZE_U64, "{w} escaped");
             }
         }
     }
@@ -221,7 +221,7 @@ mod tests {
         let distinct = |w: WorkloadKind| {
             w.generator(1 << 14, 5)
                 .take(8_000)
-                .map(|a| a / PAGE_SIZE as u64)
+                .map(|a| a / PAGE_SIZE_U64)
                 .collect::<HashSet<_>>()
                 .len()
         };

@@ -39,6 +39,42 @@ macro_rules! addr_common {
             pub fn checked_add(self, rhs: u64) -> Option<Self> {
                 self.0.checked_add(rhs).map(Self)
             }
+
+            /// Checked distance to another value of the same domain;
+            /// `None` when `rhs` is larger. The loud alternative to raw
+            /// `u64` subtraction, which silently wraps in release builds.
+            #[must_use]
+            pub fn checked_sub(self, rhs: Self) -> Option<u64> {
+                self.0.checked_sub(rhs.0)
+            }
+
+            /// Checked subtraction of a raw offset; `None` on underflow.
+            #[must_use]
+            pub fn checked_sub_offset(self, rhs: u64) -> Option<Self> {
+                self.0.checked_sub(rhs).map(Self)
+            }
+
+            /// Offset of this value inside its aligned `span`-sized group
+            /// (`self % span`): the page-offset-style helper for cluster /
+            /// window / anchor-region subindexing.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `span` is zero.
+            #[must_use]
+            pub const fn offset_within(self, span: u64) -> u64 {
+                self.0 % span
+            }
+
+            /// Extracts `(self >> shift) & mask` as a set index — the one
+            /// sanctioned path from an address-domain value to a TLB /
+            /// page-table array index. `mask` must be a low-bit mask
+            /// (`sets - 1`), which callers obtain from power-of-two set
+            /// counts.
+            #[must_use]
+            pub const fn index_bits(self, shift: u32, mask: u64) -> usize {
+                crate::usize_from((self.0 >> shift) & mask)
+            }
         }
 
         impl fmt::Debug for $ty {
@@ -232,6 +268,19 @@ mod tests {
         assert_eq!(u64::from(b), 15);
         assert_eq!(VirtPageNum::from(15u64), b);
         assert_eq!(VirtPageNum::new(u64::MAX).checked_add(1), None);
+    }
+
+    #[test]
+    fn checked_sub_and_index_helpers() {
+        let a = VirtPageNum::new(10);
+        let b = VirtPageNum::new(3);
+        assert_eq!(a.checked_sub(b), Some(7));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub_offset(4), Some(VirtPageNum::new(6)));
+        assert_eq!(b.checked_sub_offset(4), None);
+        assert_eq!(VirtPageNum::new(13).offset_within(8), 5);
+        assert_eq!(PhysFrameNum::new(0xabcd).index_bits(4, 0xff), 0xbc);
+        assert_eq!(VirtPageNum::new(0x1234).index_bits(0, 0x7f), 0x34);
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! # Examples
 //!
 //! ```
-//! use hytlb_types::{VirtAddr, VirtPageNum, PAGE_SIZE};
+//! use hytlb_types::{VirtAddr, VirtPageNum, PAGE_SIZE_U64};
 //!
 //! let va = VirtAddr::new(0x7f00_1234_5678);
 //! let vpn = va.page_number();
-//! assert_eq!(vpn.base_addr().as_u64() % PAGE_SIZE as u64, 0);
-//! assert_eq!(va.page_offset() as u64, va.as_u64() % PAGE_SIZE as u64);
+//! assert_eq!(vpn.base_addr().as_u64() % PAGE_SIZE_U64, 0);
+//! assert_eq!(va.page_offset() as u64, va.as_u64() % PAGE_SIZE_U64);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -32,6 +32,39 @@ pub const PAGE_SHIFT: u32 = 12;
 
 /// Size of a base page in bytes (4 KB).
 pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// [`PAGE_SIZE`] as a `u64`, for byte/page arithmetic on raw 64-bit
+/// addresses without a cast at every call site (`hytlb-audit` rule R1
+/// bans raw address-domain `as` casts outside this crate).
+pub const PAGE_SIZE_U64: u64 = PAGE_SIZE as u64;
+
+// The simulator manipulates 64-bit VPN/PFN values and indexes host-side
+// arrays with them; a 32-bit host would silently truncate. Refuse to
+// compile rather than corrupt figures.
+const _: () = assert!(usize::BITS >= u64::BITS, "hytlb requires a 64-bit target");
+
+/// Converts a `u64` index/count to `usize` losslessly.
+///
+/// The single sanctioned integer narrowing point for address-derived
+/// values (set indices, window numbers, cluster numbers): the crate only
+/// compiles on targets where `usize` is at least 64 bits wide, so this is
+/// a bit-exact move, unlike an unchecked `as usize` at the call site.
+#[must_use]
+pub const fn usize_from(v: u64) -> usize {
+    v as usize
+}
+
+/// Converts a small `u64` (a sub-page offset, a frame offset inside a
+/// cluster) to `u8`, panicking loudly instead of truncating.
+///
+/// # Panics
+///
+/// Panics if `v` does not fit in 8 bits.
+#[must_use]
+pub const fn u8_from(v: u64) -> u8 {
+    assert!(v <= u8::MAX as u64, "value does not fit in 8 bits");
+    v as u8
+}
 
 /// Number of base pages in an x86-64 large page (2 MB / 4 KB = 512).
 pub const HUGE_PAGE_PAGES: u64 = 512;
@@ -147,5 +180,19 @@ mod tests {
     #[test]
     fn page_size_orders_by_coverage() {
         assert!(PageSize::Base4K < PageSize::Huge2M);
+    }
+
+    #[test]
+    fn lossless_narrowing_helpers() {
+        assert_eq!(PAGE_SIZE_U64, 4096);
+        assert_eq!(usize_from(u64::MAX), u64::MAX as usize);
+        assert_eq!(u8_from(255), 255);
+        assert_eq!(u8_from(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "8 bits")]
+    fn u8_from_rejects_wide_values() {
+        let _ = u8_from(256);
     }
 }

@@ -37,6 +37,9 @@
 //! assert!(stats.accesses > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use hytlb_core as core;
 pub use hytlb_mem as mem;
 pub use hytlb_pagetable as pagetable;
