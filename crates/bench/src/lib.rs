@@ -59,7 +59,10 @@ pub fn config_from_args() -> PaperConfig {
 /// not fatal, so experiments still print on read-only checkouts).
 pub fn emit(name: &str, text: &str, json: &str) {
     println!("{text}");
-    let dir = PathBuf::from("results");
+    // `cargo bench` runs with the package directory as CWD while `cargo
+    // run` binaries inherit the invocation directory; anchor on the
+    // workspace root so both land in the same `results/`.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("note: cannot create results/: {e}");
         return;

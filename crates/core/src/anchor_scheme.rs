@@ -19,7 +19,7 @@
 
 use crate::distance::{CostModel, DistanceSelector};
 use crate::os::OsKernel;
-use hytlb_mem::AddressSpaceMap;
+use hytlb_mem::{AddressSpaceMap, ChunkCursor};
 use hytlb_pagetable::PageWalker;
 use hytlb_schemes::{
     AccessResult, AnchorIndexing, LatencyModel, SchemeStats, SharedL2, TranslationPath,
@@ -112,6 +112,10 @@ pub struct AnchorScheme {
     stats: SchemeStats,
     name: String,
     shootdowns: u64,
+    /// Last-chunk cache for the walker's huge-page-shape probe; the OS
+    /// never remaps pages after construction (epoch checks only re-anchor),
+    /// so the cursor can never go stale.
+    walk_cursor: ChunkCursor,
 }
 
 impl AnchorScheme {
@@ -142,6 +146,7 @@ impl AnchorScheme {
             stats: SchemeStats::default(),
             name,
             shootdowns: 0,
+            walk_cursor: ChunkCursor::default(),
         }
     }
 
@@ -168,7 +173,7 @@ impl AnchorScheme {
         // The walker knows from the PD entry whether the region is
         // huge-page shaped; the anchor scheme's L2 stores 4 KB, 2 MB and
         // anchor entries side by side (Table 3).
-        if let Some(head) = self.os.huge_page_at(vpn) {
+        if let Some(head) = self.os.map().huge_page_at_with(vpn, &mut self.walk_cursor) {
             let head_pfn = PhysFrameNum::new(pfn.as_u64() - (vpn - head));
             if head_pfn.is_aligned(HUGE_PAGE_PAGES) {
                 self.l2.insert_2m(head, head_pfn);
@@ -265,6 +270,10 @@ impl TranslationScheme for AnchorScheme {
         };
         self.stats.record(result);
         result
+    }
+
+    fn access_batch(&mut self, vaddrs: &[VirtAddr]) -> Result<(), hytlb_schemes::BatchFault> {
+        hytlb_schemes::run_batch(self, vaddrs)
     }
 
     fn stats(&self) -> &SchemeStats {

@@ -6,8 +6,16 @@
 //! form makes the contiguity histogram (paper §4.1) a trivial scan and keeps
 //! translation `O(log chunks)`.
 
-use hytlb_types::{Permissions, PhysFrameNum, VirtPageNum, GIANT_PAGE_PAGES, HUGE_PAGE_PAGES};
+use hytlb_types::{
+    Permissions, PhysFrameNum, VirtAddr, VirtPageNum, GIANT_PAGE_PAGES, HUGE_PAGE_PAGES,
+    PAGE_SIZE_U64,
+};
 use std::collections::BTreeMap;
+
+/// Mappings at or below this many pages get a flat logical-index→VPN table
+/// in their [`PageIndex`] (8 bytes/page, so ≤512 KB per index), replacing
+/// the per-access binary search with a single array load.
+const FLAT_TABLE_LIMIT: u64 = 1 << 16;
 
 /// One maximal run of contiguously-mapped pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -185,6 +193,48 @@ impl AddressSpaceMap {
         self.chunks.range(..=vpn.as_u64()).next_back().map(|(_, c)| c).filter(|c| c.contains(vpn))
     }
 
+    /// [`AddressSpaceMap::chunk_containing`] with a last-chunk cache over the
+    /// `BTreeMap`: the tree search is skipped whenever `vpn` falls inside the
+    /// chunk the cursor resolved last. Walk paths show strong chunk locality
+    /// (a chunk covers up to thousands of pages), so most lookups hit.
+    ///
+    /// The cursor must only ever be reused against the same, unmodified map
+    /// that filled it; mutating the map invalidates any outstanding cursor.
+    #[must_use]
+    pub fn chunk_containing_with(
+        &self,
+        vpn: VirtPageNum,
+        cursor: &mut ChunkCursor,
+    ) -> Option<MapChunk> {
+        if let Some(c) = cursor.last {
+            if c.contains(vpn) {
+                return Some(c);
+            }
+        }
+        let found = self.chunk_containing(vpn).copied();
+        if let Some(c) = found {
+            cursor.last = Some(c);
+        }
+        found
+    }
+
+    /// [`AddressSpaceMap::huge_page_at`] through a [`ChunkCursor`], for walk
+    /// paths that probe huge-page candidacy on every TLB refill.
+    #[must_use]
+    pub fn huge_page_at_with(
+        &self,
+        vpn: VirtPageNum,
+        cursor: &mut ChunkCursor,
+    ) -> Option<VirtPageNum> {
+        let head = vpn.align_down(HUGE_PAGE_PAGES);
+        let c = self.chunk_containing_with(head, cursor)?;
+        if c.end_vpn() < head + HUGE_PAGE_PAGES {
+            return None;
+        }
+        let head_pfn = c.translate(head).expect("head inside chunk");
+        head_pfn.is_aligned(HUGE_PAGE_PAGES).then_some(head)
+    }
+
     /// Translates a virtual page to its backing frame.
     #[must_use]
     pub fn translate(&self, vpn: VirtPageNum) -> Option<PhysFrameNum> {
@@ -252,8 +302,25 @@ impl AddressSpaceMap {
             cumulative.push((acc, c.vpn));
             acc += c.len;
         }
-        PageIndex { cumulative, total: acc }
+        let flat = (acc <= FLAT_TABLE_LIMIT).then(|| {
+            let pages = usize::try_from(acc).expect("flat table bounded by FLAT_TABLE_LIMIT");
+            let mut table = Vec::with_capacity(pages);
+            for c in self.chunks.values() {
+                table.extend((0..c.len).map(|i| c.vpn + i));
+            }
+            table
+        });
+        PageIndex { cumulative, flat, total: acc }
     }
+}
+
+/// Memento for [`AddressSpaceMap::chunk_containing_with`]: caches the last
+/// chunk a lookup resolved so runs of lookups inside one chunk skip the
+/// `BTreeMap` search entirely. `Default` starts empty (first lookup always
+/// searches). Only meaningful against the map that filled it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChunkCursor {
+    last: Option<MapChunk>,
 }
 
 /// Maps logical page indices to virtual page numbers of a specific
@@ -262,7 +329,19 @@ impl AddressSpaceMap {
 pub struct PageIndex {
     /// `(first_logical_index, chunk_start_vpn)` per chunk, ascending.
     cumulative: Vec<(u64, VirtPageNum)>,
+    /// Direct logical-index→VPN table, present only for mappings of at most
+    /// [`FLAT_TABLE_LIMIT`] pages.
+    flat: Option<Vec<VirtPageNum>>,
     total: u64,
+}
+
+/// MRU-chunk memento for [`PageIndex::nth_page_with`]: remembers the
+/// cumulative-table slot of the last lookup so consecutive accesses inside
+/// one chunk skip the binary search. `Default` starts at slot 0. Only
+/// meaningful against the index that filled it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageCursor {
+    pos: usize,
 }
 
 impl PageIndex {
@@ -289,6 +368,80 @@ impl PageIndex {
         let pos = self.cumulative.partition_point(|&(first, _)| first <= i) - 1;
         let (first, vpn) = self.cumulative[pos];
         vpn + (i - first)
+    }
+
+    /// [`PageIndex::nth_page`] with an MRU-chunk cursor: when `i` lands in
+    /// the same chunk as the previous lookup the binary search is skipped.
+    /// Agrees with `nth_page` on every input (the cursor only changes which
+    /// slot is *tried first*, never the result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn nth_page_with(&self, i: u64, cursor: &mut PageCursor) -> VirtPageNum {
+        assert!(i < self.total, "page index {i} out of {}", self.total);
+        let pos = if self.slot_covers(cursor.pos, i) {
+            cursor.pos
+        } else {
+            let found = self.cumulative.partition_point(|&(first, _)| first <= i) - 1;
+            cursor.pos = found;
+            found
+        };
+        let (first, vpn) = self.cumulative[pos];
+        vpn + (i - first)
+    }
+
+    /// `true` if cumulative slot `pos` exists and covers logical index `i`.
+    fn slot_covers(&self, pos: usize, i: u64) -> bool {
+        match self.cumulative.get(pos) {
+            Some(&(first, _)) => {
+                first <= i
+                    && self.cumulative.get(pos + 1).map_or(i < self.total, |&(next, _)| i < next)
+            }
+            None => false,
+        }
+    }
+
+    /// `true` when this index carries the flat logical-index→VPN table
+    /// (small mappings only; see [`PageIndex::resolve`]).
+    #[must_use]
+    pub fn has_flat_table(&self) -> bool {
+        self.flat.is_some()
+    }
+
+    /// Resolves a trace of *logical* byte addresses (the representation
+    /// workload generators emit) into virtual addresses of this mapping, in
+    /// one pass. Element-for-element identical to the scalar placement math
+    /// in the simulation engine (`page = logical / 4096`, VPN via
+    /// `nth_page`, byte offset preserved), but uses the flat table when
+    /// present and the MRU-chunk cursor otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any logical address addresses a page `>= len()`, exactly
+    /// like [`PageIndex::nth_page`].
+    #[must_use]
+    pub fn resolve(&self, logical: &[u64]) -> Vec<VirtAddr> {
+        let mut out = Vec::with_capacity(logical.len());
+        if let Some(flat) = &self.flat {
+            for &addr in logical {
+                let page = addr / PAGE_SIZE_U64;
+                let offset = addr % PAGE_SIZE_U64;
+                assert!(page < self.total, "page index {page} out of {}", self.total);
+                let idx = usize::try_from(page).expect("flat table bounded by FLAT_TABLE_LIMIT");
+                out.push(VirtAddr::new(flat[idx].base_addr().as_u64() + offset));
+            }
+        } else {
+            let mut cursor = PageCursor::default();
+            for &addr in logical {
+                let page = addr / PAGE_SIZE_U64;
+                let offset = addr % PAGE_SIZE_U64;
+                let vpn = self.nth_page_with(page, &mut cursor);
+                out.push(VirtAddr::new(vpn.base_addr().as_u64() + offset));
+            }
+        }
+        out
     }
 }
 
@@ -478,6 +631,113 @@ mod tests {
         assert_eq!(idx.len(), m.mapped_pages());
         for (i, (vpn, _)) in m.iter_pages().enumerate() {
             assert_eq!(idx.nth_page(i as u64), vpn, "logical index {i}");
+        }
+    }
+
+    #[test]
+    fn cursor_lookup_matches_plain_nth_page() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(10), PhysFrameNum::new(0), 4, rw());
+        m.map_range(VirtPageNum::new(20), PhysFrameNum::new(100), 1, rw());
+        m.map_range(VirtPageNum::new(30), PhysFrameNum::new(200), 3, rw());
+        let idx = m.page_index();
+        let mut cursor = PageCursor::default();
+        // Forward, backward, and seam-hopping patterns all agree.
+        for &i in &[0u64, 1, 2, 3, 4, 5, 6, 7, 7, 0, 4, 3, 5, 2, 6, 1] {
+            assert_eq!(idx.nth_page_with(i, &mut cursor), idx.nth_page(i), "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn cursor_lookup_rejects_out_of_range() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(0), 2, rw());
+        let idx = m.page_index();
+        let _ = idx.nth_page_with(2, &mut PageCursor::default());
+    }
+
+    #[test]
+    fn resolve_matches_scalar_placement_math() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(10), PhysFrameNum::new(0), 4, rw());
+        m.map_range(VirtPageNum::new(100), PhysFrameNum::new(50), 4, rw());
+        let idx = m.page_index();
+        assert!(idx.has_flat_table());
+        let logical: Vec<u64> =
+            vec![0, 4095, 4096, 3 * 4096 + 17, 7 * 4096 + 4095, 5 * 4096, 4096 + 1];
+        let vas = idx.resolve(&logical);
+        for (&l, &va) in logical.iter().zip(&vas) {
+            let vpn = idx.nth_page(l / PAGE_SIZE_U64);
+            let expect = VirtAddr::new(vpn.base_addr().as_u64() + l % PAGE_SIZE_U64);
+            assert_eq!(va, expect, "logical {l:#x}");
+        }
+    }
+
+    #[test]
+    fn resolve_agrees_with_and_without_flat_table() {
+        // Build a mapping just above the flat-table limit, then compare the
+        // cursor path against the same layout's nth_page answers.
+        let mut m = AddressSpaceMap::new();
+        let mut vpn = 0u64;
+        let mut pfn = 0u64;
+        let mut remaining = FLAT_TABLE_LIMIT + 7;
+        let mut len = 3u64;
+        while remaining > 0 {
+            let take = len.min(remaining);
+            m.map_range(VirtPageNum::new(vpn), PhysFrameNum::new(pfn), take, rw());
+            vpn += take + 1; // leave a hole so chunks never merge
+            pfn += take + 7;
+            remaining -= take;
+            len = (len * 5 + 1) % 900 + 1;
+        }
+        let idx = m.page_index();
+        assert!(!idx.has_flat_table());
+        let logical: Vec<u64> =
+            (0..idx.len()).step_by(97).map(|p| p * PAGE_SIZE_U64 + p % PAGE_SIZE_U64).collect();
+        let vas = idx.resolve(&logical);
+        for (&l, &va) in logical.iter().zip(&vas) {
+            let vpn = idx.nth_page(l / PAGE_SIZE_U64);
+            let expect = VirtAddr::new(vpn.base_addr().as_u64() + l % PAGE_SIZE_U64);
+            assert_eq!(va, expect, "logical {l:#x}");
+        }
+    }
+
+    #[test]
+    fn chunk_cursor_matches_plain_lookup() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(0), PhysFrameNum::new(100), 4, rw());
+        m.map_range(VirtPageNum::new(8), PhysFrameNum::new(200), 4, rw());
+        let mut cursor = ChunkCursor::default();
+        for v in 0..16u64 {
+            let vpn = VirtPageNum::new(v);
+            assert_eq!(
+                m.chunk_containing_with(vpn, &mut cursor),
+                m.chunk_containing(vpn).copied(),
+                "vpn {v}"
+            );
+        }
+        // Revisit earlier pages with a now-stale-positioned cursor.
+        for v in [2u64, 9, 1, 15, 0, 8] {
+            let vpn = VirtPageNum::new(v);
+            assert_eq!(
+                m.chunk_containing_with(vpn, &mut cursor),
+                m.chunk_containing(vpn).copied(),
+                "vpn {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_page_cursor_matches_plain_lookup() {
+        let mut m = AddressSpaceMap::new();
+        m.map_range(VirtPageNum::new(512), PhysFrameNum::new(1024), 512, rw());
+        m.map_range(VirtPageNum::new(2048), PhysFrameNum::new(4097), 512, rw());
+        m.map_range(VirtPageNum::new(4096), PhysFrameNum::new(8192), 511, rw());
+        let mut cursor = ChunkCursor::default();
+        for v in [700u64, 513, 1023, 2100, 2048, 4100, 512, 600] {
+            let vpn = VirtPageNum::new(v);
+            assert_eq!(m.huge_page_at_with(vpn, &mut cursor), m.huge_page_at(vpn), "vpn {v}");
         }
     }
 

@@ -144,8 +144,7 @@ impl CachedWalker {
     /// The walker starts at the *lowest* cached level (longest matching
     /// prefix), exactly like real translation caches.
     pub fn walk(&mut self, table: &PageTable, vpn: VirtPageNum) -> CachedWalkResult {
-        let leaf = table.lookup(vpn);
-        let depth = table.walk_depth(vpn);
+        let (leaf, depth) = table.lookup_with_depth(vpn);
         // How many of the 3 upper levels the walk actually traverses: a
         // 2 MB leaf walk touches PML4+PDPT+PD (depth 3); a 4 KB walk also
         // touches PT (depth 4).

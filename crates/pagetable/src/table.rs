@@ -109,16 +109,20 @@ impl PageTable {
             let mut vpn = chunk.vpn;
             let end = chunk.end_vpn();
             while vpn < end {
+                let pfn = chunk.translate(vpn).expect("vpn inside chunk");
+                // Huge-page candidacy decided chunk-locally: an aligned
+                // `vpn` with `end - vpn` pages to spare inside this chunk
+                // satisfies everything `map.huge_page_at(vpn) == Some(vpn)`
+                // would check except PFN alignment, so only that remains —
+                // no `BTreeMap` probe per 2 MB region.
                 if use_huge_pages
                     && vpn.is_aligned(HUGE_PAGE_PAGES)
                     && end - vpn >= HUGE_PAGE_PAGES
-                    && map.huge_page_at(vpn) == Some(vpn)
+                    && pfn.is_aligned(HUGE_PAGE_PAGES)
                 {
-                    let pfn = chunk.translate(vpn).expect("vpn inside chunk");
                     pt.map_huge(vpn, pfn, chunk.perms);
                     vpn += HUGE_PAGE_PAGES;
                 } else {
-                    let pfn = chunk.translate(vpn).expect("vpn inside chunk");
                     pt.map(vpn, pfn, chunk.perms);
                     vpn += 1;
                 }
@@ -285,6 +289,53 @@ impl PageTable {
             }
         }
         None
+    }
+
+    /// [`PageTable::lookup`] and [`PageTable::walk_depth`] fused into one
+    /// radix traversal: returns the leaf translation (if mapped) together
+    /// with the number of nodes touched. This is the walker's per-miss hot
+    /// path — one descent instead of two.
+    #[must_use]
+    pub fn lookup_with_depth(&self, vpn: VirtPageNum) -> (Option<LeafEntry>, u32) {
+        let mut node = &self.root;
+        let mut depth = 0;
+        for level in 0..LEVELS {
+            let idx = index_at(vpn, level);
+            depth += 1;
+            match node {
+                Node::Interior { entries, children } => {
+                    let e = entries[idx];
+                    if !e.is_present() {
+                        return (None, depth);
+                    }
+                    if e.is_huge() {
+                        let size = if level == 1 { PageSize::Giant1G } else { PageSize::Huge2M };
+                        let leaf = LeafEntry {
+                            head_vpn: vpn.align_down(size.base_pages()),
+                            head_pfn: e.pfn(),
+                            size,
+                            perms: e.permissions(),
+                        };
+                        return (Some(leaf), depth);
+                    }
+                    match children[idx].as_ref() {
+                        Some(c) => node = c,
+                        None => return (None, depth),
+                    }
+                }
+                Node::Leaf { entries } => {
+                    let e = entries[idx];
+                    let leaf = e.is_present().then(|| LeafEntry {
+                        head_vpn: vpn,
+                        head_pfn: e.pfn(),
+                        size: PageSize::Base4K,
+                        perms: e.permissions(),
+                    });
+                    return (leaf, depth);
+                }
+            }
+        }
+        (None, depth)
     }
 
     /// Number of page-table node accesses a hardware walker performs to
@@ -504,6 +555,26 @@ mod tests {
             let leaf = pt.lookup(vpn).unwrap_or_else(|| panic!("{vpn} unmapped"));
             assert_eq!(leaf.pfn_for(vpn), pfn, "at {vpn}");
         }
+    }
+
+    #[test]
+    fn fused_probe_agrees_with_lookup_and_walk_depth() {
+        let map = Scenario::MediumContiguity.generate(4096, 9);
+        let pt = PageTable::from_map(&map, true);
+        // Mapped pages, their neighbours (often unmapped holes), and a few
+        // far-out unmapped addresses.
+        let probes = map
+            .iter_pages()
+            .map(|(vpn, _)| vpn)
+            .flat_map(|vpn| [vpn, vpn + 1])
+            .chain([VirtPageNum::new(0), VirtPageNum::new(1 << 30)]);
+        for vpn in probes {
+            assert_eq!(pt.lookup_with_depth(vpn), (pt.lookup(vpn), pt.walk_depth(vpn)), "{vpn}");
+        }
+        let mut giant = PageTable::new();
+        giant.map_giant(VirtPageNum::new(0), PhysFrameNum::new(0), rw());
+        let vpn = VirtPageNum::new(77);
+        assert_eq!(giant.lookup_with_depth(vpn), (giant.lookup(vpn), giant.walk_depth(vpn)));
     }
 
     #[test]

@@ -71,8 +71,7 @@ impl PageWalker {
     /// Walks the table for `vpn`.
     #[must_use]
     pub fn walk(&self, table: &PageTable, vpn: VirtPageNum) -> WalkResult {
-        let leaf = table.lookup(vpn);
-        let accesses = table.walk_depth(vpn);
+        let (leaf, accesses) = table.lookup_with_depth(vpn);
         let cycles = match self.latency {
             WalkLatency::Fixed(c) => c,
             WalkLatency::PerAccess { per_level } => per_level * u64::from(accesses),

@@ -203,6 +203,10 @@ impl TranslationScheme for ClusterScheme {
         result
     }
 
+    fn access_batch(&mut self, vaddrs: &[VirtAddr]) -> Result<(), crate::scheme::BatchFault> {
+        crate::scheme::run_batch(self, vaddrs)
+    }
+
     fn stats(&self) -> &SchemeStats {
         &self.stats
     }

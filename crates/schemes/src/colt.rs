@@ -14,7 +14,7 @@
 
 use crate::scheme::{AccessResult, LatencyModel, SchemeStats, TranslationPath, TranslationScheme};
 use crate::shared_l2::SharedL2;
-use hytlb_mem::AddressSpaceMap;
+use hytlb_mem::{AddressSpaceMap, ChunkCursor};
 use hytlb_pagetable::{PageTable, PageWalker};
 use hytlb_tlb::{L1Tlb, SetAssocTlb};
 use hytlb_types::{Cycles, PageSize, PhysFrameNum, VirtAddr, VirtPageNum};
@@ -64,6 +64,9 @@ pub struct ColtScheme {
     stats: SchemeStats,
     coalesced_fills: u64,
     map: Arc<AddressSpaceMap>,
+    /// Last-chunk cache for the FA refill probe; `map` is never mutated
+    /// after construction, so the cursor can never go stale.
+    chunk_cursor: ChunkCursor,
 }
 
 impl ColtScheme {
@@ -101,6 +104,7 @@ impl ColtScheme {
             stats: SchemeStats::default(),
             coalesced_fills: 0,
             map,
+            chunk_cursor: ChunkCursor::default(),
         }
     }
 
@@ -207,7 +211,9 @@ impl TranslationScheme for ColtScheme {
                     // run (no window bound) when it is long enough to be
                     // worth one of the few FA slots.
                     if let Some(fa) = self.fa.as_mut() {
-                        if let Some(chunk) = self.map.chunk_containing(vpn) {
+                        if let Some(chunk) =
+                            self.map.chunk_containing_with(vpn, &mut self.chunk_cursor)
+                        {
                             if chunk.len > WINDOW {
                                 fa.insert(hytlb_tlb::RangeEntry {
                                     start_vpn: chunk.vpn,
@@ -231,6 +237,10 @@ impl TranslationScheme for ColtScheme {
         };
         self.stats.record(result);
         result
+    }
+
+    fn access_batch(&mut self, vaddrs: &[VirtAddr]) -> Result<(), crate::scheme::BatchFault> {
+        crate::scheme::run_batch(self, vaddrs)
     }
 
     fn stats(&self) -> &SchemeStats {

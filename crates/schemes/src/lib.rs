@@ -37,7 +37,10 @@ pub use baseline::BaselineScheme;
 pub use cluster::{ClusterScheme, CLUSTER_SPAN};
 pub use colt::ColtScheme;
 pub use rmm::RmmScheme;
-pub use scheme::{AccessResult, LatencyModel, SchemeStats, TranslationPath, TranslationScheme};
+pub use scheme::{
+    run_batch, AccessResult, BatchFault, LatencyModel, SchemeStats, TranslationPath,
+    TranslationScheme,
+};
 pub use shared_l2::{AnchorHit, AnchorIndexing, SharedL2};
 pub use thp::ThpScheme;
 pub use thp1g::Thp1GScheme;

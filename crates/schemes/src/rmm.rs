@@ -14,7 +14,7 @@
 
 use crate::scheme::{AccessResult, LatencyModel, SchemeStats, TranslationPath, TranslationScheme};
 use crate::shared_l2::SharedL2;
-use hytlb_mem::AddressSpaceMap;
+use hytlb_mem::{AddressSpaceMap, ChunkCursor};
 use hytlb_pagetable::{PageTable, PageWalker};
 use hytlb_tlb::{L1Tlb, RangeEntry, RangeTlb};
 use hytlb_types::{Cycles, PageSize, VirtAddr};
@@ -41,6 +41,9 @@ pub struct RmmScheme {
     latency: LatencyModel,
     stats: SchemeStats,
     map: Arc<AddressSpaceMap>,
+    /// Last-chunk cache for the walk-path range-table probe; `map` is never
+    /// mutated after construction, so the cursor can never go stale.
+    chunk_cursor: ChunkCursor,
 }
 
 impl RmmScheme {
@@ -71,6 +74,7 @@ impl RmmScheme {
             latency,
             stats: SchemeStats::default(),
             map,
+            chunk_cursor: ChunkCursor::default(),
         }
     }
 
@@ -125,7 +129,8 @@ impl TranslationScheme for RmmScheme {
                     }
                     // Refill the range TLB from the range table: the chunk
                     // containing this page, if large enough to be a range.
-                    if let Some(chunk) = self.map.chunk_containing(vpn) {
+                    if let Some(chunk) = self.map.chunk_containing_with(vpn, &mut self.chunk_cursor)
+                    {
                         if chunk.len >= MIN_RANGE_PAGES {
                             self.ranges.insert(RangeEntry {
                                 start_vpn: chunk.vpn,
@@ -148,6 +153,10 @@ impl TranslationScheme for RmmScheme {
         };
         self.stats.record(result);
         result
+    }
+
+    fn access_batch(&mut self, vaddrs: &[VirtAddr]) -> Result<(), crate::scheme::BatchFault> {
+        crate::scheme::run_batch(self, vaddrs)
     }
 
     fn stats(&self) -> &SchemeStats {

@@ -128,6 +128,37 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// An unmapped address hit inside [`TranslationScheme::access_batch`].
+///
+/// Identifies the first faulting access so the engine can surface the same
+/// error the scalar path would have produced at that point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchFault {
+    /// Position of the faulting address within the batch slice.
+    pub index: usize,
+    /// The virtual address that failed to translate.
+    pub vaddr: VirtAddr,
+}
+
+/// Drives a batch of accesses through a *concrete* scheme type.
+///
+/// Generic over `S` so the per-access `access` call is statically dispatched
+/// (and inlinable) instead of going through the `dyn TranslationScheme`
+/// vtable; scheme impls forward `access_batch` here to devirtualize their
+/// inner loop. Stops at the first fault, reporting its batch position.
+pub fn run_batch<S: TranslationScheme + ?Sized>(
+    scheme: &mut S,
+    vaddrs: &[VirtAddr],
+) -> Result<(), BatchFault> {
+    for (index, &vaddr) in vaddrs.iter().enumerate() {
+        let result = scheme.access(vaddr);
+        if result.pfn.is_none() {
+            return Err(BatchFault { index, vaddr });
+        }
+    }
+    Ok(())
+}
+
 /// A complete address-translation scheme: L1 TLB + L2 structures + walker.
 ///
 /// Implementations own their TLB state and their view of the page table;
@@ -140,6 +171,22 @@ pub trait TranslationScheme: Send {
 
     /// Translates one virtual address, updating TLB state and statistics.
     fn access(&mut self, vaddr: VirtAddr) -> AccessResult;
+
+    /// Translates a batch of virtual addresses, stopping at the first
+    /// unmapped one. Statistics accumulate exactly as if each address had
+    /// been passed to [`TranslationScheme::access`] in order — the batch
+    /// form only exists so concrete schemes can run their inner loop
+    /// without a per-access virtual call (see [`run_batch`]). The default
+    /// loops scalar `access`.
+    fn access_batch(&mut self, vaddrs: &[VirtAddr]) -> Result<(), BatchFault> {
+        for (index, &vaddr) in vaddrs.iter().enumerate() {
+            let result = self.access(vaddr);
+            if result.pfn.is_none() {
+                return Err(BatchFault { index, vaddr });
+            }
+        }
+        Ok(())
+    }
 
     /// Accumulated statistics.
     fn stats(&self) -> &SchemeStats;

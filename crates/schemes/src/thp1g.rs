@@ -46,26 +46,28 @@ impl Thp1GScheme {
             let mut vpn = chunk.vpn;
             let end = chunk.end_vpn();
             while vpn < end {
+                // Giant/huge candidacy is decided chunk-locally: `vpn` is
+                // aligned and inside this chunk with `end - vpn` pages to
+                // spare, which is everything `map.giant_page_at(vpn) ==
+                // Some(vpn)` would check except PFN alignment — so only
+                // that remains, with no `BTreeMap` probe per region.
+                // audit:allow(panic): invariant — `vpn < end`, so it lies
+                // inside `chunk` and always translates.
+                let pfn = chunk.translate(vpn).expect("inside");
                 if vpn.is_aligned(GIANT_PAGE_PAGES)
                     && end - vpn >= GIANT_PAGE_PAGES
-                    && map.giant_page_at(vpn) == Some(vpn)
+                    && pfn.is_aligned(GIANT_PAGE_PAGES)
                 {
-                    // audit:allow(panic): invariant — `vpn < end`, so it
-                    // lies inside `chunk` and always translates.
-                    table.map_giant(vpn, chunk.translate(vpn).expect("inside"), chunk.perms);
+                    table.map_giant(vpn, pfn, chunk.perms);
                     vpn += GIANT_PAGE_PAGES;
                 } else if vpn.is_aligned(HUGE_PAGE_PAGES)
                     && end - vpn >= HUGE_PAGE_PAGES
-                    && map.huge_page_at(vpn) == Some(vpn)
+                    && pfn.is_aligned(HUGE_PAGE_PAGES)
                 {
-                    // audit:allow(panic): invariant — `vpn < end`, so it
-                    // lies inside `chunk` and always translates.
-                    table.map_huge(vpn, chunk.translate(vpn).expect("inside"), chunk.perms);
+                    table.map_huge(vpn, pfn, chunk.perms);
                     vpn += HUGE_PAGE_PAGES;
                 } else {
-                    // audit:allow(panic): invariant — `vpn < end`, so it
-                    // lies inside `chunk` and always translates.
-                    table.map(vpn, chunk.translate(vpn).expect("inside"), chunk.perms);
+                    table.map(vpn, pfn, chunk.perms);
                     vpn += 1;
                 }
             }
@@ -157,6 +159,10 @@ impl TranslationScheme for Thp1GScheme {
         };
         self.stats.record(result);
         result
+    }
+
+    fn access_batch(&mut self, vaddrs: &[VirtAddr]) -> Result<(), crate::scheme::BatchFault> {
+        crate::scheme::run_batch(self, vaddrs)
     }
 
     fn stats(&self) -> &SchemeStats {

@@ -1,11 +1,17 @@
 //! The machine: a translation scheme driven by a logical-address trace.
 
 use crate::config::{PaperConfig, SchemeKind};
+use crate::dispatch::SchemeDispatch;
 use crate::error::SimError;
 use hytlb_mem::{AddressSpaceMap, PageIndex};
 use hytlb_schemes::{SchemeStats, TranslationScheme};
 use hytlb_types::{VirtAddr, PAGE_SIZE_U64};
 use std::sync::Arc;
+
+/// Accesses per chunk of the batched resolved-trace loop: large enough to
+/// amortize the per-chunk dispatch and epoch/flush bookkeeping, small enough
+/// that a chunk's addresses stay cache-resident.
+const RESOLVED_BATCH: u64 = 4096;
 
 /// Translation-CPI contributions, as stacked in Figures 10–11.
 #[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
@@ -74,7 +80,7 @@ impl RunStats {
 /// A scheme plus the placement layer that turns logical trace addresses
 /// into virtual addresses of the mapping under test.
 pub struct Machine {
-    scheme: Box<dyn TranslationScheme>,
+    scheme: SchemeDispatch,
     index: Arc<PageIndex>,
     config: PaperConfig,
 }
@@ -95,7 +101,7 @@ impl Machine {
     #[must_use]
     pub fn for_scheme(kind: SchemeKind, map: &Arc<AddressSpaceMap>, config: &PaperConfig) -> Self {
         Machine {
-            scheme: kind.build(map, config),
+            scheme: SchemeDispatch::build(kind, map, config),
             index: Arc::new(map.page_index()),
             config: *config,
         }
@@ -116,7 +122,11 @@ impl Machine {
         config: &PaperConfig,
     ) -> Self {
         assert_eq!(index.len(), map.mapped_pages(), "page index does not match the mapping");
-        Machine { scheme: kind.build(map, config), index: Arc::clone(index), config: *config }
+        Machine {
+            scheme: SchemeDispatch::build(kind, map, config),
+            index: Arc::clone(index),
+            config: *config,
+        }
     }
 
     /// Builds a machine around an existing scheme (used for ablations that
@@ -127,13 +137,17 @@ impl Machine {
         map: &Arc<AddressSpaceMap>,
         config: &PaperConfig,
     ) -> Self {
-        Machine { scheme, index: Arc::new(map.page_index()), config: *config }
+        Machine {
+            scheme: SchemeDispatch::Boxed(scheme),
+            index: Arc::new(map.page_index()),
+            config: *config,
+        }
     }
 
     /// The underlying scheme.
     #[must_use]
     pub fn scheme(&self) -> &dyn TranslationScheme {
-        self.scheme.as_ref()
+        &self.scheme
     }
 
     /// Drives a logical-address trace through the MMU. Logical addresses
@@ -218,6 +232,89 @@ impl Machine {
             }
         }
         Ok(self.finish(accesses))
+    }
+
+    /// Drives a *pre-resolved* virtual-address trace through the MMU in
+    /// chunks, skipping the per-access placement math of [`Machine::run`]
+    /// (see [`hytlb_mem::PageIndex::resolve`]) and the per-access virtual
+    /// call (each chunk runs through the scheme's monomorphized batch
+    /// loop). Bit-identical to `run` over the logical trace that produced
+    /// `resolved`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Machine::run`].
+    pub fn run_resolved(&mut self, resolved: &[VirtAddr]) -> RunStats {
+        self.run_resolved_with_flush_period(resolved, u64::MAX)
+    }
+
+    /// [`Machine::run_resolved`] with periodic TLB flushes, the batched
+    /// counterpart of [`Machine::run_with_flush_period`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Machine::run`].
+    pub fn run_resolved_with_flush_period(
+        &mut self,
+        resolved: &[VirtAddr],
+        flush_period: u64,
+    ) -> RunStats {
+        // The panicking wrapper exists for the many quick-experiment
+        // callers; the error already names the scheme and address, and
+        // matrix cells use the try_ variant.
+        self.try_run_resolved_with_flush_period(resolved, flush_period)
+            // audit:allow(panic): invariant — see the wrapper comment above.
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Machine::run_resolved`].
+    pub fn try_run_resolved(&mut self, resolved: &[VirtAddr]) -> Result<RunStats, SimError> {
+        self.try_run_resolved_with_flush_period(resolved, u64::MAX)
+    }
+
+    /// The non-panicking core of the batched hot loop. Chunks are cut so
+    /// that every epoch and flush boundary lands exactly on a chunk end,
+    /// which makes `on_epoch`/`flush` fire at exactly the same access
+    /// counts as the scalar reference loop — bit-identical stats by
+    /// construction.
+    pub fn try_run_resolved_with_flush_period(
+        &mut self,
+        resolved: &[VirtAddr],
+        flush_period: u64,
+    ) -> Result<RunStats, SimError> {
+        let epoch_every = self.config.epoch_accesses();
+        let mut since_epoch = 0u64;
+        let mut since_flush = 0u64;
+        let mut pos = 0usize;
+        while pos < resolved.len() {
+            let remaining = (resolved.len() - pos) as u64;
+            // `since_epoch < epoch_every` is a loop invariant (reset on
+            // fire), so this cannot underflow. The flush gap is clamped to
+            // one access so a `flush_period` of 0 — which the scalar loop
+            // services after every access — still makes progress.
+            let until_epoch = epoch_every - since_epoch;
+            let until_flush = flush_period.saturating_sub(since_flush).max(1);
+            let take = RESOLVED_BATCH.min(remaining).min(until_epoch).min(until_flush);
+            let end = pos + take as usize;
+            if let Err(fault) = self.scheme.access_batch(&resolved[pos..end]) {
+                return Err(SimError::TraceFault {
+                    scheme: self.scheme.name().to_owned(),
+                    vaddr: fault.vaddr,
+                });
+            }
+            pos = end;
+            since_epoch += take;
+            since_flush += take;
+            if since_epoch >= epoch_every {
+                self.scheme.on_epoch();
+                since_epoch = 0;
+            }
+            if since_flush >= flush_period {
+                self.scheme.flush();
+                since_flush = 0;
+            }
+        }
+        Ok(self.finish(resolved.len() as u64))
     }
 
     fn finish(&self, accesses: u64) -> RunStats {
@@ -314,6 +411,43 @@ mod tests {
         let err = m
             .try_run(WorkloadKind::Gups.generator(4096, 7).take(5_000))
             .expect_err("mismatched maps must fault");
+        match err {
+            crate::SimError::TraceFault { scheme, .. } => assert_eq!(scheme, "Base"),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn resolved_run_matches_scalar_reference() {
+        // Small epoch so boundaries land mid-chunk, plus a flush period
+        // coprime with the batch size.
+        let config =
+            PaperConfig { accesses: 30_000, epoch_instructions: 9_000, ..PaperConfig::quick() };
+        let map = Arc::new(Scenario::MediumContiguity.generate(4096, 5));
+        let index = Arc::new(map.page_index());
+        let trace: Vec<u64> = WorkloadKind::Canneal.generator(4096, 5).take(30_000).collect();
+        let resolved = index.resolve(&trace);
+        for flush_period in [u64::MAX, 7_777] {
+            let scalar =
+                Machine::for_scheme_indexed(SchemeKind::AnchorDynamic, &map, &index, &config)
+                    .run_with_flush_period(trace.iter().copied(), flush_period);
+            let batched =
+                Machine::for_scheme_indexed(SchemeKind::AnchorDynamic, &map, &index, &config)
+                    .run_resolved_with_flush_period(&resolved, flush_period);
+            assert_eq!(scalar, batched, "flush_period {flush_period}");
+        }
+    }
+
+    #[test]
+    fn resolved_run_names_the_faulting_scheme() {
+        let config = quick();
+        let small = Arc::new(Scenario::MediumContiguity.generate(64, 7));
+        let big = Arc::new(Scenario::MediumContiguity.generate(4096, 7));
+        let scheme = SchemeKind::Baseline.build(&small, &config);
+        let mut m = Machine::from_scheme(scheme, &big, &config);
+        let trace: Vec<u64> = WorkloadKind::Gups.generator(4096, 7).take(5_000).collect();
+        let resolved = Arc::new(big.page_index()).resolve(&trace);
+        let err = m.try_run_resolved(&resolved).expect_err("mismatched maps must fault");
         match err {
             crate::SimError::TraceFault { scheme, .. } => assert_eq!(scheme, "Base"),
             other => panic!("unexpected error: {other}"),

@@ -156,10 +156,16 @@ pub fn run_suite_serial(
         .iter()
         .map(|&workload| {
             let map = mapping_for(workload, scenario, config);
+            // One placement index per mapping: every scheme of the row
+            // shares it instead of re-deriving it per machine.
+            let index = Arc::new(map.page_index());
             let trace = trace_for(workload, config);
             let runs = kinds
                 .iter()
-                .map(|&kind| Machine::for_scheme(kind, &map, config).run(trace.iter().copied()))
+                .map(|&kind| {
+                    Machine::for_scheme_indexed(kind, &map, &index, config)
+                        .run(trace.iter().copied())
+                })
                 .collect();
             WorkloadRow { workload, runs }
         })
@@ -180,11 +186,12 @@ pub fn static_ideal(
 ) -> RunStats {
     assert!(!candidates.is_empty(), "need at least one candidate distance");
     let map = mapping_for(workload, scenario, config);
+    let index = Arc::new(map.page_index());
     let trace = trace_for(workload, config);
     candidates
         .iter()
         .map(|&d| {
-            Machine::for_scheme(SchemeKind::AnchorStatic(d), &map, config)
+            Machine::for_scheme_indexed(SchemeKind::AnchorStatic(d), &map, &index, config)
                 .run(trace.iter().copied())
         })
         .min_by_key(RunStats::tlb_misses)

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod dispatch;
 mod engine;
 mod error;
 pub mod experiment;
@@ -45,6 +46,7 @@ pub mod matrix;
 pub mod report;
 
 pub use config::{PaperConfig, SchemeKind};
+pub use dispatch::SchemeDispatch;
 pub use engine::{CpiBreakdown, Machine, RunStats};
 pub use error::SimError;
 pub use matrix::{run_matrix, try_run_matrix, MatrixCache};

@@ -36,6 +36,7 @@ use crate::error::SimError;
 use crate::experiment::{mapping_for, trace_for, SuiteResult, WorkloadRow};
 use hytlb_mem::{AddressSpaceMap, PageIndex, Scenario};
 use hytlb_trace::WorkloadKind;
+use hytlb_types::VirtAddr;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -59,6 +60,9 @@ pub struct CacheStats {
     /// Traces generated (one per distinct `(workload, fingerprint)`
     /// requested).
     pub trace_builds: usize,
+    /// Resolved virtual-address traces computed (one per distinct
+    /// `(workload, scenario, fingerprint)` requested).
+    pub resolved_builds: usize,
 }
 
 type MappingKey = (WorkloadKind, Scenario, u64);
@@ -73,8 +77,10 @@ type MemoTable<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
 pub struct MatrixCache {
     mappings: MemoTable<MappingKey, SharedMapping>,
     traces: MemoTable<TraceKey, Arc<Vec<u64>>>,
+    resolved: MemoTable<MappingKey, Arc<Vec<VirtAddr>>>,
     mapping_builds: AtomicUsize,
     trace_builds: AtomicUsize,
+    resolved_builds: AtomicUsize,
 }
 
 impl MatrixCache {
@@ -120,11 +126,38 @@ impl MatrixCache {
         }))
     }
 
-    /// How many mappings and traces this cache has generated so far.
+    /// The fully-resolved virtual-address trace for a cell: the logical
+    /// trace placed onto the cell's mapping (see
+    /// [`PageIndex::resolve`](hytlb_mem::PageIndex::resolve)), computed on
+    /// first request and shared by every scheme of the cell afterwards.
+    /// This hoists the per-access div/mod + placement lookup of the scalar
+    /// loop out of the schemes dimension entirely — with the paper set it
+    /// is paid once instead of six times per cell.
+    pub fn resolved_trace(
+        &self,
+        workload: WorkloadKind,
+        scenario: Scenario,
+        config: &PaperConfig,
+    ) -> Arc<Vec<VirtAddr>> {
+        let key = (workload, scenario, config.fingerprint());
+        let slot = Arc::clone(
+            self.resolved.lock().expect("resolved table poisoned").entry(key).or_default(),
+        );
+        Arc::clone(slot.get_or_init(|| {
+            self.resolved_builds.fetch_add(1, Ordering::Relaxed);
+            let shared = self.mapping(workload, scenario, config);
+            let trace = self.trace(workload, config);
+            Arc::new(shared.index.resolve(&trace))
+        }))
+    }
+
+    /// How many mappings, traces and resolved traces this cache has
+    /// generated so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             mapping_builds: self.mapping_builds.load(Ordering::Relaxed),
             trace_builds: self.trace_builds.load(Ordering::Relaxed),
+            resolved_builds: self.resolved_builds.load(Ordering::Relaxed),
         }
     }
 }
@@ -285,9 +318,9 @@ fn run_cells(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(s, w, k)) = cells.get(i) else { break };
                 let shared = cache.mapping(workloads[w], scenarios[s], config);
-                let trace = cache.trace(workloads[w], config);
+                let resolved = cache.resolved_trace(workloads[w], scenarios[s], config);
                 let run = Machine::for_scheme_indexed(kinds[k], &shared.map, &shared.index, config)
-                    .try_run(trace.iter().copied())
+                    .try_run_resolved(&resolved)
                     .map_err(|e| {
                         e.in_cell(scenarios[s].label(), workloads[w].label(), &kinds[k].label())
                     });
@@ -330,6 +363,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.mapping_builds, scenarios.len() * workloads.len());
         assert_eq!(stats.trace_builds, workloads.len());
+        assert_eq!(stats.resolved_builds, scenarios.len() * workloads.len());
         // A second matrix over the same cells generates nothing new.
         let _ = run_matrix_with(&cache, &scenarios, &workloads, &kinds, &config);
         assert_eq!(cache.stats(), stats);

@@ -87,10 +87,15 @@ impl<P> SetAssocTlb<P> {
         self.tick += 1;
         let tick = self.tick;
         let ways = &mut self.sets[set];
-        ways.iter_mut().find(|w| w.tag == tag).map(|w| {
-            w.stamp = tick;
-            &w.payload
-        })
+        let idx = ways.iter().position(|w| w.tag == tag)?;
+        ways[idx].stamp = tick;
+        // Move-to-front so the MRU entry is found on the first probe next
+        // time. Purely a scan-order change: recency is carried by `stamp`
+        // (unique per op), so hit/miss/eviction behaviour is untouched.
+        if idx != 0 {
+            ways.swap(idx, 0);
+        }
+        Some(&ways[0].payload)
     }
 
     /// Looks up without touching LRU state — a "peek", useful for fills

@@ -24,18 +24,21 @@ macro_rules! addr_common {
         impl $ty {
             /// Wraps a raw 64-bit value.
             #[must_use]
+            #[inline]
             pub const fn new(raw: u64) -> Self {
                 Self(raw)
             }
 
             /// Returns the raw 64-bit value.
             #[must_use]
+            #[inline]
             pub const fn as_u64(self) -> u64 {
                 self.0
             }
 
             /// Checked addition of a raw offset; `None` on overflow.
             #[must_use]
+            #[inline]
             pub fn checked_add(self, rhs: u64) -> Option<Self> {
                 self.0.checked_add(rhs).map(Self)
             }
@@ -44,12 +47,14 @@ macro_rules! addr_common {
             /// `None` when `rhs` is larger. The loud alternative to raw
             /// `u64` subtraction, which silently wraps in release builds.
             #[must_use]
+            #[inline]
             pub fn checked_sub(self, rhs: Self) -> Option<u64> {
                 self.0.checked_sub(rhs.0)
             }
 
             /// Checked subtraction of a raw offset; `None` on underflow.
             #[must_use]
+            #[inline]
             pub fn checked_sub_offset(self, rhs: u64) -> Option<Self> {
                 self.0.checked_sub(rhs).map(Self)
             }
@@ -62,6 +67,7 @@ macro_rules! addr_common {
             ///
             /// Panics if `span` is zero.
             #[must_use]
+            #[inline]
             pub const fn offset_within(self, span: u64) -> u64 {
                 self.0 % span
             }
@@ -72,6 +78,7 @@ macro_rules! addr_common {
             /// (`sets - 1`), which callers obtain from power-of-two set
             /// counts.
             #[must_use]
+            #[inline]
             pub const fn index_bits(self, shift: u32, mask: u64) -> usize {
                 crate::usize_from((self.0 >> shift) & mask)
             }
@@ -102,12 +109,14 @@ macro_rules! addr_common {
         }
 
         impl From<u64> for $ty {
+            #[inline]
             fn from(raw: u64) -> Self {
                 Self(raw)
             }
         }
 
         impl From<$ty> for u64 {
+            #[inline]
             fn from(v: $ty) -> u64 {
                 v.0
             }
@@ -115,12 +124,14 @@ macro_rules! addr_common {
 
         impl Add<u64> for $ty {
             type Output = Self;
+            #[inline]
             fn add(self, rhs: u64) -> Self {
                 Self(self.0 + rhs)
             }
         }
 
         impl AddAssign<u64> for $ty {
+            #[inline]
             fn add_assign(&mut self, rhs: u64) {
                 self.0 += rhs;
             }
@@ -128,6 +139,7 @@ macro_rules! addr_common {
 
         impl Sub<$ty> for $ty {
             type Output = u64;
+            #[inline]
             fn sub(self, rhs: $ty) -> u64 {
                 self.0 - rhs.0
             }
@@ -146,12 +158,14 @@ addr_common!(
 impl VirtAddr {
     /// Virtual page number containing this address.
     #[must_use]
+    #[inline]
     pub const fn page_number(self) -> VirtPageNum {
         VirtPageNum::new(self.0 >> PAGE_SHIFT)
     }
 
     /// Byte offset inside the containing 4 KB page.
     #[must_use]
+    #[inline]
     pub const fn page_offset(self) -> usize {
         (self.0 as usize) & (PAGE_SIZE - 1)
     }
@@ -160,12 +174,14 @@ impl VirtAddr {
 impl PhysAddr {
     /// Physical frame number containing this address.
     #[must_use]
+    #[inline]
     pub const fn frame_number(self) -> PhysFrameNum {
         PhysFrameNum::new(self.0 >> PAGE_SHIFT)
     }
 
     /// Byte offset inside the containing 4 KB frame.
     #[must_use]
+    #[inline]
     pub const fn page_offset(self) -> usize {
         (self.0 as usize) & (PAGE_SIZE - 1)
     }
@@ -174,6 +190,7 @@ impl PhysAddr {
 impl VirtPageNum {
     /// First byte address of the page.
     #[must_use]
+    #[inline]
     pub const fn base_addr(self) -> VirtAddr {
         VirtAddr::new(self.0 << PAGE_SHIFT)
     }
@@ -186,6 +203,7 @@ impl VirtPageNum {
     ///
     /// Panics if `alignment` is not a power of two.
     #[must_use]
+    #[inline]
     pub fn align_down(self, alignment: u64) -> Self {
         assert!(alignment.is_power_of_two(), "alignment must be a power of two");
         Self(self.0 & !(alignment - 1))
@@ -193,6 +211,7 @@ impl VirtPageNum {
 
     /// `true` when this VPN is a multiple of `alignment` pages.
     #[must_use]
+    #[inline]
     pub fn is_aligned(self, alignment: u64) -> bool {
         self.align_down(alignment) == self
     }
@@ -201,6 +220,7 @@ impl VirtPageNum {
 impl PhysFrameNum {
     /// First byte address of the frame.
     #[must_use]
+    #[inline]
     pub const fn base_addr(self) -> PhysAddr {
         PhysAddr::new(self.0 << PAGE_SHIFT)
     }
@@ -211,6 +231,7 @@ impl PhysFrameNum {
     ///
     /// Panics if `alignment` is not a power of two.
     #[must_use]
+    #[inline]
     pub fn align_down(self, alignment: u64) -> Self {
         assert!(alignment.is_power_of_two(), "alignment must be a power of two");
         Self(self.0 & !(alignment - 1))
@@ -218,6 +239,7 @@ impl PhysFrameNum {
 
     /// `true` when this PFN is a multiple of `alignment` frames.
     #[must_use]
+    #[inline]
     pub fn is_aligned(self, alignment: u64) -> bool {
         self.align_down(alignment) == self
     }
