@@ -46,6 +46,12 @@ pub enum SimError {
         /// The serializer's error message.
         detail: String,
     },
+    /// Loading a recorded trace from a corpus store failed (corrupt
+    /// file, unreadable manifest, I/O failure).
+    Corpus {
+        /// The trace-file layer's error message.
+        detail: String,
+    },
     /// A matrix cell failed; names the cell and carries the underlying
     /// error.
     Cell {
@@ -88,6 +94,7 @@ impl core::fmt::Display for SimError {
                 write!(f, "scheme column {scheme} has no anchor distance (workload {workload})")
             }
             SimError::Serialize { detail } => write!(f, "serialization failed: {detail}"),
+            SimError::Corpus { detail } => write!(f, "trace corpus replay failed: {detail}"),
             SimError::Cell { scenario, workload, scheme, source } => {
                 write!(f, "cell ({scenario}, {workload}, {scheme}) failed: {source}")
             }
@@ -103,7 +110,8 @@ impl std::error::Error for SimError {
             | SimError::NoSuites
             | SimError::SuiteMisaligned { .. }
             | SimError::NotAnAnchorColumn { .. }
-            | SimError::Serialize { .. } => None,
+            | SimError::Serialize { .. }
+            | SimError::Corpus { .. } => None,
         }
     }
 }
@@ -131,6 +139,7 @@ mod tests {
             SimError::SuiteMisaligned { row: 2, expected: "gups".into(), found: "mcf".into() },
             SimError::NotAnAnchorColumn { scheme: "Base".into(), workload: "gups".into() },
             SimError::Serialize { detail: "boom".into() },
+            SimError::Corpus { detail: "manifest.json is unreadable".into() },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

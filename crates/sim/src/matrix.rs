@@ -36,6 +36,7 @@ use crate::error::SimError;
 use crate::experiment::{mapping_for, trace_for, SuiteResult, WorkloadRow};
 use hytlb_mem::{AddressSpaceMap, PageIndex, Scenario};
 use hytlb_trace::WorkloadKind;
+use hytlb_tracefile::TraceStore;
 use hytlb_types::VirtAddr;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,8 +59,10 @@ pub struct CacheStats {
     /// fingerprint)` requested).
     pub mapping_builds: usize,
     /// Traces generated (one per distinct `(workload, fingerprint)`
-    /// requested).
+    /// requested that the corpus could not serve).
     pub trace_builds: usize,
+    /// Traces replayed from the corpus store instead of generated.
+    pub trace_loads: usize,
     /// Resolved virtual-address traces computed (one per distinct
     /// `(workload, scenario, fingerprint)` requested).
     pub resolved_builds: usize,
@@ -76,10 +79,12 @@ type MemoTable<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
 #[derive(Debug, Default)]
 pub struct MatrixCache {
     mappings: MemoTable<MappingKey, SharedMapping>,
-    traces: MemoTable<TraceKey, Arc<Vec<u64>>>,
-    resolved: MemoTable<MappingKey, Arc<Vec<VirtAddr>>>,
+    traces: MemoTable<TraceKey, Result<Arc<Vec<u64>>, SimError>>,
+    resolved: MemoTable<MappingKey, Result<Arc<Vec<VirtAddr>>, SimError>>,
+    corpus: Option<Arc<TraceStore>>,
     mapping_builds: AtomicUsize,
     trace_builds: AtomicUsize,
+    trace_loads: AtomicUsize,
     resolved_builds: AtomicUsize,
 }
 
@@ -88,6 +93,23 @@ impl MatrixCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache that replays traces from a recorded corpus.
+    ///
+    /// When a trace is first requested, the corpus is consulted for a
+    /// recording keyed `(workload label, footprint, seed)` with at least
+    /// `config.accesses` accesses; its prefix is loaded instead of
+    /// running the generator (generators are deterministic streams, so
+    /// the prefix of a longer recording is bit-identical to a fresh
+    /// generation). Keys the corpus lacks fall back to generation, so a
+    /// partial corpus accelerates what it has without limiting the
+    /// matrix. A corrupt recording is *not* silently regenerated — it
+    /// surfaces as [`SimError::Corpus`], because bad bytes on disk
+    /// should be noticed, not papered over.
+    #[must_use]
+    pub fn with_corpus(store: Arc<TraceStore>) -> Self {
+        MatrixCache { corpus: Some(store), ..Self::default() }
     }
 
     /// The mapping (and its page index) for a cell, generating it if this
@@ -116,14 +138,77 @@ impl MatrixCache {
     /// The trace a workload replays, generating it on first request.
     /// Scenario-independent, exactly like the paper's per-benchmark Pin
     /// traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a corpus replay fails; use [`MatrixCache::try_trace`]
+    /// to handle [`SimError::Corpus`] instead.
     pub fn trace(&self, workload: WorkloadKind, config: &PaperConfig) -> Arc<Vec<u64>> {
+        self.try_trace(workload, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`MatrixCache::trace`]: serves from the corpus
+    /// store when one is attached and has a long-enough recording,
+    /// generating otherwise. The outcome (including a corpus failure)
+    /// is memoized, so the store is consulted at most once per key.
+    pub fn try_trace(
+        &self,
+        workload: WorkloadKind,
+        config: &PaperConfig,
+    ) -> Result<Arc<Vec<u64>>, SimError> {
         let key = (workload, config.fingerprint());
         let slot =
             Arc::clone(self.traces.lock().expect("trace table poisoned").entry(key).or_default());
-        Arc::clone(slot.get_or_init(|| {
+        slot.get_or_init(|| {
+            if let Some(store) = &self.corpus {
+                match store.load_prefix(
+                    workload.label(),
+                    config.footprint_for(workload),
+                    config.seed,
+                    config.accesses,
+                ) {
+                    Ok(Some(addresses)) => {
+                        self.trace_loads.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::new(addresses));
+                    }
+                    Ok(None) => {} // not recorded (or too short): generate
+                    Err(e) => return Err(SimError::Corpus { detail: e.to_string() }),
+                }
+            }
             self.trace_builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(trace_for(workload, config))
-        }))
+            Ok(Arc::new(trace_for(workload, config)))
+        })
+        .clone()
+    }
+
+    /// Records every trace of `workloads` under `config` into `store`,
+    /// so later runs can attach it via [`MatrixCache::with_corpus`] and
+    /// replay instead of regenerate. Traces already cached in memory are
+    /// spilled as-is; missing ones are generated first. Keys the store
+    /// already holds with enough accesses are skipped. Returns how many
+    /// traces were written.
+    pub fn spill_traces(
+        &self,
+        store: &mut TraceStore,
+        workloads: &[WorkloadKind],
+        config: &PaperConfig,
+    ) -> Result<usize, SimError> {
+        let mut written = 0;
+        for &workload in workloads {
+            let footprint_pages = config.footprint_for(workload);
+            if store
+                .find(workload.label(), footprint_pages, config.seed)
+                .is_some_and(|e| e.accesses >= config.accesses)
+            {
+                continue;
+            }
+            let trace = self.try_trace(workload, config)?;
+            store
+                .record(workload.label(), footprint_pages, config.seed, trace.iter().copied())
+                .map_err(|e| SimError::Corpus { detail: e.to_string() })?;
+            written += 1;
+        }
+        Ok(written)
     }
 
     /// The fully-resolved virtual-address trace for a cell: the logical
@@ -133,30 +218,49 @@ impl MatrixCache {
     /// This hoists the per-access div/mod + placement lookup of the scalar
     /// loop out of the schemes dimension entirely — with the paper set it
     /// is paid once instead of six times per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a corpus replay fails; use
+    /// [`MatrixCache::try_resolved_trace`] to handle
+    /// [`SimError::Corpus`] instead.
     pub fn resolved_trace(
         &self,
         workload: WorkloadKind,
         scenario: Scenario,
         config: &PaperConfig,
     ) -> Arc<Vec<VirtAddr>> {
+        self.try_resolved_trace(workload, scenario, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`MatrixCache::resolved_trace`].
+    pub fn try_resolved_trace(
+        &self,
+        workload: WorkloadKind,
+        scenario: Scenario,
+        config: &PaperConfig,
+    ) -> Result<Arc<Vec<VirtAddr>>, SimError> {
         let key = (workload, scenario, config.fingerprint());
         let slot = Arc::clone(
             self.resolved.lock().expect("resolved table poisoned").entry(key).or_default(),
         );
-        Arc::clone(slot.get_or_init(|| {
+        slot.get_or_init(|| {
             self.resolved_builds.fetch_add(1, Ordering::Relaxed);
             let shared = self.mapping(workload, scenario, config);
-            let trace = self.trace(workload, config);
-            Arc::new(shared.index.resolve(&trace))
-        }))
+            let trace = self.try_trace(workload, config)?;
+            Ok(Arc::new(shared.index.resolve(&trace)))
+        })
+        .clone()
     }
 
     /// How many mappings, traces and resolved traces this cache has
-    /// generated so far.
+    /// generated so far, and how many traces were replayed from the
+    /// corpus instead.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             mapping_builds: self.mapping_builds.load(Ordering::Relaxed),
             trace_builds: self.trace_builds.load(Ordering::Relaxed),
+            trace_loads: self.trace_loads.load(Ordering::Relaxed),
             resolved_builds: self.resolved_builds.load(Ordering::Relaxed),
         }
     }
@@ -317,10 +421,13 @@ fn run_cells(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(s, w, k)) = cells.get(i) else { break };
-                let shared = cache.mapping(workloads[w], scenarios[s], config);
-                let resolved = cache.resolved_trace(workloads[w], scenarios[s], config);
-                let run = Machine::for_scheme_indexed(kinds[k], &shared.map, &shared.index, config)
-                    .try_run_resolved(&resolved)
+                let run = cache
+                    .try_resolved_trace(workloads[w], scenarios[s], config)
+                    .and_then(|resolved| {
+                        let shared = cache.mapping(workloads[w], scenarios[s], config);
+                        Machine::for_scheme_indexed(kinds[k], &shared.map, &shared.index, config)
+                            .try_run_resolved(&resolved)
+                    })
                     .map_err(|e| {
                         e.in_cell(scenarios[s].label(), workloads[w].label(), &kinds[k].label())
                     });
@@ -392,6 +499,67 @@ mod tests {
             &config,
         );
         assert_eq!(suite.rows[0].runs[2], best);
+    }
+
+    #[test]
+    fn corpus_replay_is_bit_identical_and_skips_generation() {
+        let config = PaperConfig { threads: Some(2), ..tiny() };
+        let workloads = [WorkloadKind::Gups, WorkloadKind::Mcf];
+        let root = std::env::temp_dir().join(format!("hytlb_matrix_corpus_{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+
+        // Generate once, spill to the store.
+        let fresh = MatrixCache::new();
+        let mut store = TraceStore::open_or_create(&root).unwrap();
+        let written = fresh.spill_traces(&mut store, &workloads, &config).unwrap();
+        assert_eq!(written, 2);
+        assert_eq!(fresh.spill_traces(&mut store, &workloads, &config).unwrap(), 0, "idempotent");
+
+        // Replay from the store: same bytes, zero generator runs.
+        let replay = MatrixCache::with_corpus(Arc::new(store));
+        for &w in &workloads {
+            assert_eq!(replay.trace(w, &config), fresh.trace(w, &config), "{w:?}");
+        }
+        let stats = replay.stats();
+        assert_eq!(stats.trace_loads, 2);
+        assert_eq!(stats.trace_builds, 0);
+
+        // A workload the corpus lacks falls back to generation.
+        let _ = replay.trace(WorkloadKind::Milc, &config);
+        assert_eq!(replay.stats().trace_builds, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_corpus_surfaces_as_corpus_error() {
+        let config = PaperConfig { threads: Some(1), ..tiny() };
+        let root =
+            std::env::temp_dir().join(format!("hytlb_matrix_badcorpus_{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let mut store = TraceStore::open_or_create(&root).unwrap();
+        MatrixCache::new().spill_traces(&mut store, &[WorkloadKind::Gups], &config).unwrap();
+        // Flip a byte in the middle of the recorded file.
+        let path = root.join(store.entries()[0].path.clone());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replay = MatrixCache::with_corpus(Arc::new(store));
+        let err = replay.try_trace(WorkloadKind::Gups, &config).unwrap_err();
+        assert!(matches!(err, SimError::Corpus { .. }), "{err}");
+        // The failure is memoized and also reaches matrix cells as a
+        // named Cell error.
+        let cell_err = try_run_matrix_with(
+            &replay,
+            &[Scenario::LowContiguity],
+            &[WorkloadKind::Gups],
+            &[SchemeKind::Baseline],
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(cell_err, SimError::Cell { .. }), "{cell_err}");
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -3,11 +3,25 @@
 //! Pre-generated traces can be captured to disk and replayed, mirroring the
 //! paper's Pin-capture-then-simulate workflow. The format is a small JSON
 //! header (for tooling) followed by raw little-endian `u64` addresses.
+//!
+//! This is the **legacy v1** (`HYTLBTR1`) format: simple, but 8 bytes per
+//! access and without integrity checks. New recordings should use the
+//! compressed, CRC-protected `HYTLBTR2` format in `hytlb-tracefile`;
+//! `hytlb-tracectl convert` migrates v1 files. This module stays so old
+//! captures remain readable (and convertible).
 
 use std::io::{self, Read, Write};
 
 /// Magic string identifying the trace format.
 const MAGIC: &[u8; 8] = b"HYTLBTR1";
+
+/// Upper bound on the JSON header, so a corrupt length prefix cannot drive
+/// a giant allocation.
+const MAX_HEADER: u32 = 1 << 20;
+
+/// Addresses per chunk when writing, and the initial capacity cap when
+/// reading: bounds memory independently of what the header claims.
+const CHUNK: usize = 1 << 13;
 
 /// Header describing a stored trace.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -20,6 +34,10 @@ struct Header {
 
 /// Writes a trace: `addresses` are logical byte addresses as produced by a
 /// [`crate::TraceGenerator`].
+///
+/// Addresses are serialized in chunks of [`CHUNK`], not one 8-byte
+/// `write_all` each, so an unbuffered `File` writer does not pay one
+/// syscall per access.
 ///
 /// # Errors
 ///
@@ -41,8 +59,13 @@ pub fn write_trace<W: Write>(
     let head = serde_json::to_vec(&header).map_err(io::Error::other)?;
     writer.write_all(&(head.len() as u32).to_le_bytes())?;
     writer.write_all(&head)?;
-    for a in addresses {
-        writer.write_all(&a.to_le_bytes())?;
+    let mut buf = Vec::with_capacity(CHUNK.min(addresses.len()) * 8);
+    for chunk in addresses.chunks(CHUNK) {
+        buf.clear();
+        for a in chunk {
+            buf.extend_from_slice(&a.to_le_bytes());
+        }
+        writer.write_all(&buf)?;
     }
     Ok(())
 }
@@ -50,10 +73,15 @@ pub fn write_trace<W: Write>(
 /// Reads a trace previously written by [`write_trace`], returning
 /// `(workload, footprint_pages, seed, addresses)`.
 ///
+/// The declared header length is bounded at 1 MiB and the address vector
+/// grows incrementally, so a corrupt header cannot drive a huge
+/// allocation: a trace whose payload runs short of its declared
+/// `accesses` fails with `InvalidData` after reading only what exists.
+///
 /// # Errors
 ///
-/// Returns `InvalidData` if the magic or header is malformed, and
-/// propagates I/O errors from `reader`.
+/// Returns `InvalidData` if the magic or header is malformed or the
+/// payload is truncated, and propagates I/O errors from `reader`.
 pub fn read_trace<R: Read>(mut reader: R) -> io::Result<(String, u64, u64, Vec<u64>)> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
@@ -62,14 +90,33 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<(String, u64, u64, Vec<u
     }
     let mut len = [0u8; 4];
     reader.read_exact(&mut len)?;
-    let mut head = vec![0u8; u32::from_le_bytes(len) as usize];
+    let head_len = u32::from_le_bytes(len);
+    if head_len > MAX_HEADER {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("trace header declares {head_len} bytes, more than the 1 MiB bound"),
+        ));
+    }
+    let mut head = vec![0u8; head_len as usize];
     reader.read_exact(&mut head)?;
     let header: Header =
         serde_json::from_slice(&head).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    let mut addresses = Vec::with_capacity(header.accesses as usize);
+    // Capacity is capped: a lying header cannot reserve more than one
+    // chunk up front, and growth only happens as real payload arrives.
+    let declared = usize::try_from(header.accesses)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "access count overflows"))?;
+    let mut addresses = Vec::with_capacity(declared.min(CHUNK));
     let mut buf = [0u8; 8];
-    for _ in 0..header.accesses {
-        reader.read_exact(&mut buf)?;
+    for n in 0..declared {
+        if let Err(e) = reader.read_exact(&mut buf) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace truncated: payload ends after {n} of {declared} accesses"),
+                ));
+            }
+            return Err(e);
+        }
         addresses.push(u64::from_le_bytes(buf));
     }
     Ok((header.workload, header.footprint_pages, header.seed, addresses))
@@ -93,6 +140,15 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_larger_than_one_chunk() {
+        let addrs: Vec<u64> = (0..(CHUNK as u64 * 2 + 17)).map(|i| i * 8).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, "big", 4, 0, &addrs).unwrap();
+        let (_, _, _, back) = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, addrs);
+    }
+
+    #[test]
     fn rejects_garbage() {
         let err = read_trace(&b"NOTATRACE___"[..]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
@@ -104,5 +160,43 @@ mod tests {
         write_trace(&mut buf, "empty", 1, 0, &[]).unwrap();
         let (_, _, _, back) = read_trace(buf.as_slice()).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn oversized_header_length_is_invalid_data() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(MAX_HEADER + 1).to_le_bytes());
+        buf.extend_from_slice(&[b'x'; 128]);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn lying_access_count_is_invalid_data_not_oom() {
+        // Header claims u64::MAX accesses over an empty payload: must
+        // fail cleanly without attempting a 147-exabyte reservation.
+        let json = format!(
+            "{{\"workload\":\"liar\",\"footprint_pages\":1,\"accesses\":{},\"seed\":0}}",
+            u64::MAX
+        );
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        buf.extend_from_slice(json.as_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_is_invalid_data() {
+        let addrs: Vec<u64> = (0..100u64).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, "cut", 1, 0, &addrs).unwrap();
+        buf.truncate(buf.len() - 12);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("98 of 100"), "{err}");
     }
 }

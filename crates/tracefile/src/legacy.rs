@@ -1,0 +1,280 @@
+//! Reading the legacy `HYTLBTR1` format and converting it to v2.
+//!
+//! The v1 format (`hytlb_trace::io`) is a JSON header followed by raw
+//! little-endian u64s — simple, but 8 bytes per access and with nothing
+//! to catch corruption. [`LegacyReader`] streams it with bounded memory
+//! (an 8 KiB read buffer, never a full `Vec` of the trace) and
+//! [`convert`] re-encodes it block-by-block into v2, which is what
+//! `hytlb-tracectl convert` runs.
+
+use std::io::Read;
+
+use crate::error::{Result, TraceFileError};
+use crate::format::{TraceMeta, MAX_HEADER_BYTES};
+use crate::writer::{TraceWriter, WriteSummary};
+
+/// Leading magic of a version-1 trace file.
+pub const LEGACY_MAGIC: [u8; 8] = *b"HYTLBTR1";
+
+/// The v1 JSON header. Field names must match `hytlb_trace::io`.
+#[derive(Debug, Clone, serde::Deserialize)]
+struct LegacyHeader {
+    workload: String,
+    footprint_pages: u64,
+    accesses: u64,
+    seed: u64,
+}
+
+/// Streaming reader over a legacy `HYTLBTR1` file.
+#[derive(Debug)]
+pub struct LegacyReader<R: Read> {
+    src: R,
+    workload: String,
+    footprint_pages: u64,
+    seed: u64,
+    declared: u64,
+    yielded: u64,
+    buf: [u8; 8192],
+    buf_len: usize,
+    buf_pos: usize,
+    failed: bool,
+}
+
+impl<R: Read> LegacyReader<R> {
+    /// Opens a legacy stream, consuming and validating the magic and
+    /// header. The declared header length is bounded at 1 MiB so a
+    /// corrupt prefix cannot drive a giant allocation.
+    pub fn new(mut src: R) -> Result<Self> {
+        let mut magic = [0u8; 8];
+        src.read_exact(&mut magic)?;
+        if magic == crate::format::FILE_MAGIC {
+            return Err(TraceFileError::UnsupportedVersion { found: 2 });
+        }
+        if magic != LEGACY_MAGIC {
+            return Err(TraceFileError::corrupt("file magic", "not a HYTLBTR1 trace file"));
+        }
+        let mut len_bytes = [0u8; 4];
+        src.read_exact(&mut len_bytes)?;
+        let header_len = u32::from_le_bytes(len_bytes);
+        if header_len > MAX_HEADER_BYTES {
+            return Err(TraceFileError::corrupt(
+                "header",
+                format!("declared length {header_len} exceeds the 1 MiB bound"),
+            ));
+        }
+        let mut json = vec![0u8; header_len as usize];
+        src.read_exact(&mut json)?;
+        let text = std::str::from_utf8(&json)
+            .map_err(|_| TraceFileError::corrupt("header", "header is not UTF-8"))?;
+        let header: LegacyHeader = serde_json::from_str(text)
+            .map_err(|e| TraceFileError::corrupt("header", format!("bad JSON: {e}")))?;
+        Ok(LegacyReader {
+            src,
+            workload: header.workload,
+            footprint_pages: header.footprint_pages,
+            seed: header.seed,
+            declared: header.accesses,
+            yielded: 0,
+            buf: [0u8; 8192],
+            buf_len: 0,
+            buf_pos: 0,
+            failed: false,
+        })
+    }
+
+    /// Workload label from the header.
+    #[must_use]
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// Footprint in pages from the header.
+    #[must_use]
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint_pages
+    }
+
+    /// Generator seed from the header.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Accesses the header declares (the payload may disagree; the
+    /// iterator errors if it runs short).
+    #[must_use]
+    pub fn declared_accesses(&self) -> u64 {
+        self.declared
+    }
+
+    /// v2 metadata equivalent to this legacy header.
+    #[must_use]
+    pub fn meta(&self) -> TraceMeta {
+        TraceMeta::new(self.workload.clone(), self.footprint_pages, self.seed)
+    }
+
+    fn refill(&mut self) -> std::io::Result<usize> {
+        self.buf_pos = 0;
+        self.buf_len = 0;
+        // Fill as much of the buffer as the source will give, so the
+        // tail can be checked for 8-byte alignment.
+        while self.buf_len < self.buf.len() {
+            let n = self.src.read(&mut self.buf[self.buf_len..])?;
+            if n == 0 {
+                break;
+            }
+            self.buf_len += n;
+        }
+        Ok(self.buf_len)
+    }
+}
+
+impl<R: Read> Iterator for LegacyReader<R> {
+    type Item = Result<u64>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.yielded >= self.declared {
+            return None;
+        }
+        if self.buf_pos + 8 > self.buf_len {
+            let leftover = self.buf_len - self.buf_pos;
+            match self.refill() {
+                Ok(0) => {
+                    self.failed = true;
+                    let detail = if leftover == 0 {
+                        format!(
+                            "payload ends after {} of {} declared accesses",
+                            self.yielded, self.declared
+                        )
+                    } else {
+                        "payload is not a whole number of u64s".into()
+                    };
+                    return Some(Err(TraceFileError::corrupt("legacy payload", detail)));
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+            }
+        }
+        let chunk = &self.buf[self.buf_pos..self.buf_pos + 8];
+        self.buf_pos += 8;
+        self.yielded += 1;
+        Some(Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))))
+    }
+}
+
+/// What [`convert`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvertSummary {
+    /// Totals of the v2 file written.
+    pub written: WriteSummary,
+    /// Size of the legacy payload alone (`8 × accesses`), for ratio
+    /// reporting.
+    pub legacy_payload_bytes: u64,
+}
+
+/// Streams a legacy `HYTLBTR1` file into a v2 `HYTLBTR2` file, block
+/// size taken from `block_accesses` (`None` → default). Memory stays
+/// bounded at one block regardless of trace size.
+pub fn convert<R: Read, W: std::io::Write>(
+    legacy: R,
+    sink: W,
+    block_accesses: Option<u32>,
+) -> Result<ConvertSummary> {
+    let mut reader = LegacyReader::new(legacy)?;
+    let mut meta = reader.meta();
+    if let Some(block) = block_accesses {
+        meta.block_accesses = block;
+    }
+    let mut writer = TraceWriter::new(sink, &meta)?;
+    for address in reader.by_ref() {
+        writer.push(address?)?;
+    }
+    let written = writer.finish()?;
+    Ok(ConvertSummary { written, legacy_payload_bytes: written.accesses * 8 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::TraceReader;
+
+    /// Builds a v1 file by hand (magic + len + JSON + raw u64s), so the
+    /// tests don't depend on `hytlb_trace::io` internals.
+    fn legacy_bytes(workload: &str, accesses: &[u64]) -> Vec<u8> {
+        let json = format!(
+            "{{\"workload\":\"{workload}\",\"footprint_pages\":4096,\"accesses\":{},\"seed\":9}}",
+            accesses.len()
+        );
+        let mut out = Vec::new();
+        out.extend_from_slice(&LEGACY_MAGIC);
+        out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        out.extend_from_slice(json.as_bytes());
+        for a in accesses {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn legacy_reader_streams_the_payload() {
+        let addresses: Vec<u64> = (0..3000u64).map(|i| i * 4096 + i % 4096).collect();
+        let bytes = legacy_bytes("gups", &addresses);
+        let reader = LegacyReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.workload(), "gups");
+        assert_eq!(reader.footprint_pages(), 4096);
+        assert_eq!(reader.seed(), 9);
+        assert_eq!(reader.declared_accesses(), 3000);
+        let back: Result<Vec<u64>> = reader.collect();
+        assert_eq!(back.unwrap(), addresses);
+    }
+
+    #[test]
+    fn truncated_legacy_payload_errors() {
+        let addresses: Vec<u64> = (0..100u64).map(|i| i * 8).collect();
+        let mut bytes = legacy_bytes("mcf", &addresses);
+        bytes.truncate(bytes.len() - 20); // 2.5 accesses short
+        let reader = LegacyReader::new(&bytes[..]).unwrap();
+        let result: Result<Vec<u64>> = reader.collect();
+        assert!(result.unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn oversized_legacy_header_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&LEGACY_MAGIC);
+        bytes.extend_from_slice(&(MAX_HEADER_BYTES + 1).to_le_bytes());
+        let err = LegacyReader::new(&bytes[..]).unwrap_err();
+        assert!(err.is_corrupt(), "{err}");
+    }
+
+    #[test]
+    fn v2_magic_is_reported_as_wrong_version() {
+        let bytes = b"HYTLBTR2rest";
+        match LegacyReader::new(&bytes[..]) {
+            Err(TraceFileError::UnsupportedVersion { found: 2 }) => {}
+            other => panic!("expected UnsupportedVersion {{ 2 }}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn convert_roundtrips_and_shrinks() {
+        // Page-local walk: v2 should be much smaller than 8 B/access.
+        let addresses: Vec<u64> = (0..5000u64).map(|i| (i / 7) * 4096 + (i * 131) % 4096).collect();
+        let legacy = legacy_bytes("graph500", &addresses);
+        let mut v2 = Vec::new();
+        let summary = convert(&legacy[..], &mut v2, Some(512)).unwrap();
+        assert_eq!(summary.written.accesses, 5000);
+        assert_eq!(summary.legacy_payload_bytes, 5000 * 8);
+        assert!(summary.written.bytes < summary.legacy_payload_bytes / 2);
+
+        let reader = TraceReader::new(&v2[..]).unwrap();
+        assert_eq!(reader.meta().workload, "graph500");
+        assert_eq!(reader.meta().footprint_pages, 4096);
+        assert_eq!(reader.meta().seed, 9);
+        let back: Result<Vec<u64>> = reader.addresses().collect();
+        assert_eq!(back.unwrap(), addresses);
+    }
+}

@@ -1,0 +1,91 @@
+//! A committed `HYTLBTR1` fixture keeps the legacy path honest: if the
+//! v1 reader or `convert` regresses, these tests fail against real
+//! bytes, not bytes produced by the same code under test.
+//!
+//! The fixture is gups, footprint 8192 pages, seed 7, 2000 accesses,
+//! written by `hytlb_trace::write_trace`. Regenerate (only after a
+//! deliberate v1 format change) with:
+//!
+//! ```text
+//! cargo test -p hytlb-tracefile --test legacy_fixture regenerate -- --ignored
+//! ```
+
+use hytlb_trace::WorkloadKind;
+use hytlb_tracefile::{convert, verify, LegacyReader, TraceReader};
+use std::path::PathBuf;
+
+const WORKLOAD: WorkloadKind = WorkloadKind::Gups;
+const FOOTPRINT_PAGES: u64 = 8192;
+const SEED: u64 = 7;
+const ACCESSES: usize = 2000;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/legacy_gups.trace")
+}
+
+fn expected_addresses() -> Vec<u64> {
+    WORKLOAD.generator(FOOTPRINT_PAGES, SEED).take(ACCESSES).collect()
+}
+
+#[test]
+fn fixture_reads_back_via_both_paths() {
+    let bytes = std::fs::read(fixture_path()).expect("committed fixture present");
+    let expected = expected_addresses();
+
+    // The v1 module's own reader.
+    let (workload, footprint_pages, seed, addresses) = hytlb_trace::read_trace(&bytes[..]).unwrap();
+    assert_eq!(workload, "gups");
+    assert_eq!(footprint_pages, FOOTPRINT_PAGES);
+    assert_eq!(seed, SEED);
+    assert_eq!(addresses, expected);
+
+    // The tracefile crate's streaming legacy reader.
+    let reader = LegacyReader::new(&bytes[..]).unwrap();
+    assert_eq!(reader.workload(), "gups");
+    assert_eq!(reader.declared_accesses(), ACCESSES as u64);
+    let streamed: Result<Vec<u64>, _> = reader.collect();
+    assert_eq!(streamed.unwrap(), expected);
+}
+
+#[test]
+fn fixture_converts_to_v2_losslessly() {
+    let bytes = std::fs::read(fixture_path()).expect("committed fixture present");
+    let mut v2 = Vec::new();
+    let summary = convert(&bytes[..], &mut v2, None).unwrap();
+    assert_eq!(summary.written.accesses, ACCESSES as u64);
+    assert!(
+        summary.written.compression_ratio() > 1.8,
+        "gups at 8192 pages should beat 1.8x, got {:.2}x",
+        summary.written.compression_ratio()
+    );
+
+    let report = verify(&v2[..]).unwrap();
+    assert_eq!(report.accesses, ACCESSES as u64);
+
+    let reader = TraceReader::new(&v2[..]).unwrap();
+    assert_eq!(reader.meta().workload, "gups");
+    assert_eq!(reader.meta().footprint_pages, FOOTPRINT_PAGES);
+    assert_eq!(reader.meta().seed, SEED);
+    let replayed: Result<Vec<u64>, _> = reader.addresses().collect();
+    assert_eq!(replayed.unwrap(), expected_addresses());
+}
+
+/// Not a test: rewrites the fixture. Run explicitly (see module docs)
+/// after a deliberate v1 format change, and commit the result.
+#[test]
+#[ignore = "regenerates the committed fixture"]
+fn regenerate_fixture() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let mut bytes = Vec::new();
+    hytlb_trace::write_trace(
+        &mut bytes,
+        WORKLOAD.label(),
+        FOOTPRINT_PAGES,
+        SEED,
+        &expected_addresses(),
+    )
+    .unwrap();
+    std::fs::write(&path, &bytes).unwrap();
+    println!("wrote {} bytes to {}", bytes.len(), path.display());
+}

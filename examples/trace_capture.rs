@@ -1,37 +1,55 @@
 //! Capture-then-replay workflow, mirroring the paper's Pin methodology:
-//! generate a workload trace once, store it, and replay the identical
-//! trace against several mapping scenarios.
+//! stream a workload trace to a compressed `HYTLBTR2` file once, then
+//! replay the identical trace from disk against several mapping
+//! scenarios.
+//!
+//! Both directions stream: capture pushes each address into the block
+//! writer as the generator produces it, and replay decodes the file
+//! block by block — neither side ever holds the whole trace in memory.
 //!
 //! ```sh
 //! cargo run --release --example trace_capture
 //! ```
 
 use hytlb::prelude::*;
-use hytlb::trace::{read_trace, write_trace, WorkloadKind};
+use hytlb::trace::WorkloadKind;
+use hytlb::tracefile::{TraceMeta, TraceReader, TraceWriter};
 
 fn main() -> std::io::Result<()> {
     let workload = WorkloadKind::Mcf;
     let footprint = 32 * 1024;
     let seed = 7;
+    let accesses = 200_000;
 
-    // 1. "Pin capture": materialize the access trace once.
-    let addresses: Vec<u64> = workload.generator(footprint, seed).take(200_000).collect();
-    let path = std::env::temp_dir().join("hytlb_mcf.trace");
-    write_trace(std::fs::File::create(&path)?, workload.label(), footprint, seed, &addresses)?;
-    println!("captured {} accesses of {} to {}", addresses.len(), workload, path.display());
+    // 1. "Pin capture": stream the access trace straight to disk.
+    let path = std::env::temp_dir().join("hytlb_mcf.htr2");
+    let meta = TraceMeta::new(workload.label(), footprint, seed);
+    let mut writer = TraceWriter::new(std::fs::File::create(&path)?, &meta)?;
+    writer.extend(workload.generator(footprint, seed).take(accesses))?;
+    let summary = writer.finish()?;
+    println!(
+        "captured {} accesses of {} to {} ({} bytes, {:.2}x smaller than raw u64s)",
+        summary.accesses,
+        workload,
+        path.display(),
+        summary.bytes,
+        summary.compression_ratio(),
+    );
 
-    // 2. Replay the stored trace against three different mappings.
-    let (name, fp, _, replay) = read_trace(std::fs::File::open(&path)?)?;
-    assert_eq!(fp, footprint);
+    // 2. Replay the stored trace against three different mappings,
+    //    re-reading it from disk for every run.
+    let stream = |path: &std::path::Path| -> std::io::Result<_> {
+        let reader = TraceReader::new(std::fs::File::open(path)?)?;
+        Ok(reader.addresses().map(|address| address.expect("trace verified at capture")))
+    };
     let config = PaperConfig::default();
-    println!("\nreplaying {name}:");
+    println!("\nreplaying {workload}:");
     println!("{:<10} {:>12} {:>12}", "scenario", "base walks", "anchor walks");
     for scenario in [Scenario::LowContiguity, Scenario::MediumContiguity, Scenario::MaxContiguity] {
         let map = std::sync::Arc::new(scenario.generate(footprint, 3));
-        let base =
-            Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(replay.iter().copied());
-        let anchor = Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config)
-            .run(replay.iter().copied());
+        let base = Machine::for_scheme(SchemeKind::Baseline, &map, &config).run(stream(&path)?);
+        let anchor =
+            Machine::for_scheme(SchemeKind::AnchorDynamic, &map, &config).run(stream(&path)?);
         println!(
             "{:<10} {:>12} {:>12}   (d = {})",
             scenario.label(),

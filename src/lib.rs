@@ -19,6 +19,9 @@
 //! * [`schemes`] — the competing schemes (baseline, THP, cluster,
 //!   cluster-2MB, RMM) behind one [`schemes::TranslationScheme`] trait.
 //! * [`trace`] — synthetic workload trace generators for the 14 benchmarks.
+//! * [`tracefile`] — the compressed, seekable `HYTLBTR2` trace-file format,
+//!   the on-disk trace corpus ([`tracefile::TraceStore`]) and the
+//!   `hytlb-tracectl` tool.
 //! * [`sim`] — the trace-driven simulation engine, experiment definitions
 //!   and report renderers.
 //!
@@ -47,6 +50,7 @@ pub use hytlb_schemes as schemes;
 pub use hytlb_sim as sim;
 pub use hytlb_tlb as tlb;
 pub use hytlb_trace as trace;
+pub use hytlb_tracefile as tracefile;
 pub use hytlb_types as types;
 
 /// Convenience re-exports of the most frequently used items.
